@@ -1,0 +1,23 @@
+//! # xquec-baselines
+//!
+//! Reimplementations of the systems the XQueC paper evaluates against
+//! (§1.2, §5), at the fidelity the comparisons require:
+//!
+//! * [`xmill`] — XMill-like compressor: per-path containers compressed as
+//!   whole chunks (best ratios, no individual value access);
+//! * [`xgrind`] — XGrind-like homomorphic compressor with an extended-SAX
+//!   top-down matcher (exact/prefix match compressed, ranges decompressed);
+//! * [`xpress`] — XPRESS-like compressor with reverse arithmetic
+//!   path-interval encoding and type-inferred value codecs;
+//! * [`galax`] — a Galax-like in-memory XQuery engine over the uncompressed
+//!   DOM (shared parser with `xquec-core`, deliberately naive evaluation).
+
+pub mod galax;
+pub mod xgrind;
+pub mod xmill;
+pub mod xpress;
+
+pub use galax::GalaxEngine;
+pub use xgrind::XgrindDoc;
+pub use xmill::XmillDoc;
+pub use xpress::XpressDoc;

@@ -1,0 +1,350 @@
+//! XGrind-like homomorphic compressor (Tolani & Haritsa, ICDE 2002) —
+//! baseline for both compression factors and query behaviour.
+//!
+//! XGrind "does not separate data from structure: an XGrind-compressed XML
+//! document is still an XML document, whose tags have been
+//! dictionary-encoded, and whose data nodes have been compressed using the
+//! Huffman algorithm and left at their place in the document." Its query
+//! processor is "an extended SAX parser" limited to *exact-match* and
+//! *prefix-match* predicates on compressed values, evaluated by a fixed
+//! top-down scan of the entire stream — the evaluation strategy the paper
+//! contrasts with XQueC's algebraic access paths.
+
+use std::collections::HashMap;
+use xquec_compress::bitio::{read_varint, write_varint};
+use xquec_compress::Huffman;
+use xquec_xml::{Event, Reader, Result as XmlResult};
+
+// Stream tokens.
+const TOK_END: usize = 0;
+const TOK_TEXT: usize = 1;
+const TOK_BASE: usize = 2;
+
+/// An XGrind-compressed document: a single homomorphic token stream.
+pub struct XgrindDoc {
+    stream: Vec<u8>,
+    names: Vec<String>,
+    /// One Huffman model per element/attribute name code (XGrind computes
+    /// per-tag frequency tables in a first pass).
+    models: Vec<Huffman>,
+    /// Original size.
+    pub original_bytes: usize,
+}
+
+/// A value matched by a scan: its root-to-leaf tag path and plain text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Slash-separated path of dictionary names, `@`-prefixed for attrs.
+    pub path: String,
+    /// The decompressed value.
+    pub value: String,
+}
+
+impl XgrindDoc {
+    /// Two-pass compression: collect per-name frequencies, then encode.
+    pub fn compress(xml: &str) -> XmlResult<Self> {
+        // Pass 1: dictionary + per-name byte frequencies.
+        let mut names: Vec<String> = Vec::new();
+        let mut name_ids: HashMap<String, usize> = HashMap::new();
+        let mut freqs: Vec<[u64; 256]> = Vec::new();
+        {
+            let mut reader = Reader::new(xml);
+            let mut stack: Vec<usize> = Vec::new();
+            while let Some(ev) = reader.next_event()? {
+                match ev {
+                    Event::StartElement { name, attributes } => {
+                        let tag = intern(&mut names, &mut name_ids, &mut freqs, &name);
+                        for (an, av) in &attributes {
+                            let code = intern(&mut names, &mut name_ids, &mut freqs, an);
+                            for &b in av.as_bytes() {
+                                freqs[code][b as usize] += 1;
+                            }
+                        }
+                        stack.push(tag);
+                    }
+                    Event::Text(t) => {
+                        let &tag = stack.last().expect("text inside element");
+                        for &b in t.as_bytes() {
+                            freqs[tag][b as usize] += 1;
+                        }
+                    }
+                    Event::EndElement { .. } => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        let models: Vec<Huffman> = freqs.iter().map(Huffman::from_frequencies).collect();
+
+        // Pass 2: encode the homomorphic stream.
+        let mut stream: Vec<u8> = Vec::new();
+        let mut reader = Reader::new(xml);
+        let mut stack: Vec<usize> = Vec::new();
+        while let Some(ev) = reader.next_event()? {
+            match ev {
+                Event::StartElement { name, attributes } => {
+                    let tag = name_ids[&name];
+                    write_varint(&mut stream, TOK_BASE + tag * 2);
+                    for (an, av) in &attributes {
+                        let code = name_ids[an.as_str()];
+                        write_varint(&mut stream, TOK_BASE + code * 2 + 1);
+                        let comp = models[code].compress(av.as_bytes());
+                        write_varint(&mut stream, comp.len());
+                        stream.extend_from_slice(&comp);
+                    }
+                    stack.push(tag);
+                }
+                Event::Text(t) => {
+                    let &tag = stack.last().expect("text inside element");
+                    write_varint(&mut stream, TOK_TEXT);
+                    let comp = models[tag].compress(t.as_bytes());
+                    write_varint(&mut stream, comp.len());
+                    stream.extend_from_slice(&comp);
+                }
+                Event::EndElement { .. } => {
+                    write_varint(&mut stream, TOK_END);
+                    stack.pop();
+                }
+            }
+        }
+
+        Ok(XgrindDoc { stream, names, models, original_bytes: xml.len() })
+    }
+
+    /// Compressed size: stream + dictionary + serialized models.
+    pub fn compressed_size(&self) -> usize {
+        self.stream.len()
+            + self.names.iter().map(|n| n.len() + 1).sum::<usize>()
+            + self.models.len() * 256
+    }
+
+    /// Compression factor `1 - cs/os`.
+    pub fn compression_factor(&self) -> f64 {
+        1.0 - self.compressed_size() as f64 / self.original_bytes as f64
+    }
+
+    /// Exact-match query in the compressed domain: scan the whole stream
+    /// top-down, match `path` (absolute, e.g. `site/people/person/@id`),
+    /// compare compressed bytes, and return sibling context values.
+    ///
+    /// This is the *only* query style XGrind evaluates without
+    /// decompression; the scan cost is always the full document.
+    pub fn exact_match(&self, path: &str, value: &str) -> Vec<Match> {
+        let target = self.parse_path(path);
+        let Some(target) = target else { return Vec::new() };
+        // Compress the probe under the target name's model.
+        let Some(&leaf_code) = target.last() else { return Vec::new() };
+        let probe = self.models[leaf_code >> 1].compress(value.as_bytes());
+        let mut out = Vec::new();
+        self.scan(|path_now, leaf, comp, doc| {
+            if path_now == target.as_slice() && comp == probe.as_slice() {
+                out.push(Match {
+                    path: doc.path_string(path_now),
+                    value: String::from_utf8(doc.models[leaf >> 1].decompress(comp))
+                        .expect("UTF-8"),
+                });
+            }
+        });
+        out
+    }
+
+    /// Prefix-match query in the compressed domain (Huffman `wild`).
+    pub fn prefix_match(&self, path: &str, prefix: &str) -> Vec<Match> {
+        let Some(target) = self.parse_path(path) else { return Vec::new() };
+        let mut out = Vec::new();
+        self.scan(|path_now, leaf, comp, doc| {
+            if path_now == target.as_slice()
+                && doc.models[leaf >> 1].prefix_match(comp, prefix.as_bytes())
+            {
+                out.push(Match {
+                    path: doc.path_string(path_now),
+                    value: String::from_utf8(doc.models[leaf >> 1].decompress(comp))
+                        .expect("UTF-8"),
+                });
+            }
+        });
+        out
+    }
+
+    /// Range query: XGrind cannot compare order in the compressed domain, so
+    /// every candidate value on the path must be decompressed ("partial-match
+    /// and range queries on decompressed values"). Returns matches and the
+    /// number of decompressions performed.
+    pub fn range_match(&self, path: &str, lo: &str, hi: &str) -> (Vec<Match>, usize) {
+        let Some(target) = self.parse_path(path) else { return (Vec::new(), 0) };
+        let mut out = Vec::new();
+        let mut decompressions = 0usize;
+        self.scan(|path_now, leaf, comp, doc| {
+            if path_now == target.as_slice() {
+                decompressions += 1;
+                let plain =
+                    String::from_utf8(doc.models[leaf >> 1].decompress(comp)).expect("UTF-8");
+                if plain.as_str() >= lo && plain.as_str() <= hi {
+                    out.push(Match { path: doc.path_string(path_now), value: plain });
+                }
+            }
+        });
+        (out, decompressions)
+    }
+
+    /// Full decompression back to a DOM-free count of events (used by tests
+    /// and the harness to validate stream integrity).
+    pub fn event_count(&self) -> usize {
+        let mut n = 0usize;
+        self.scan_all(|_| n += 1);
+        n
+    }
+
+    fn parse_path(&self, path: &str) -> Option<Vec<usize>> {
+        let mut out = Vec::new();
+        for step in path.trim_matches('/').split('/') {
+            if let Some(a) = step.strip_prefix('@') {
+                let code = self.names.iter().position(|n| n == a)?;
+                out.push(code * 2 + 1);
+            } else if step == "text()" {
+                // Text leaves are identified by their parent element code.
+                let &parent = out.last()?;
+                out.push(parent); // sentinel: text under parent
+            } else {
+                let code = self.names.iter().position(|n| n == step)?;
+                out.push(code * 2);
+            }
+        }
+        Some(out)
+    }
+
+    fn path_string(&self, path: &[usize]) -> String {
+        let mut out = String::new();
+        for (i, &c) in path.iter().enumerate() {
+            out.push('/');
+            if c % 2 == 1 {
+                out.push('@');
+            }
+            // A duplicated trailing code denotes a text leaf.
+            if i + 1 == path.len() && i > 0 && path[i - 1] == c {
+                out.push_str("text()");
+            } else {
+                out.push_str(&self.names[c >> 1]);
+            }
+        }
+        out
+    }
+
+    /// Top-down scan invoking `f` on every *value* with its current path.
+    fn scan(&self, mut f: impl FnMut(&[usize], usize, &[u8], &XgrindDoc)) {
+        let mut path: Vec<usize> = Vec::new();
+        let mut pos = 0usize;
+        while pos < self.stream.len() {
+            let (tok, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+            pos += used;
+            match tok {
+                TOK_END => {
+                    path.pop();
+                }
+                TOK_TEXT => {
+                    let (len, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+                    pos += used;
+                    let comp = &self.stream[pos..pos + len];
+                    pos += len;
+                    let &leaf = path.last().expect("text inside element");
+                    path.push(leaf);
+                    f(&path, leaf, comp, self);
+                    path.pop();
+                }
+                t => {
+                    let code = t - TOK_BASE;
+                    if code % 2 == 0 {
+                        path.push(code);
+                    } else {
+                        let (len, used) =
+                            read_varint(&self.stream[pos..]).expect("corrupt stream");
+                        pos += used;
+                        let comp = &self.stream[pos..pos + len];
+                        pos += len;
+                        path.push(code);
+                        f(&path, code, comp, self);
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn scan_all(&self, mut f: impl FnMut(usize)) {
+        let mut pos = 0usize;
+        while pos < self.stream.len() {
+            let (tok, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+            pos += used;
+            if tok == TOK_TEXT || (tok >= TOK_BASE && (tok - TOK_BASE) % 2 == 1) {
+                let (len, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+                pos += used + len;
+            }
+            f(tok);
+        }
+    }
+}
+
+fn intern(
+    names: &mut Vec<String>,
+    ids: &mut HashMap<String, usize>,
+    freqs: &mut Vec<[u64; 256]>,
+    name: &str,
+) -> usize {
+    if let Some(&i) = ids.get(name) {
+        return i;
+    }
+    let i = names.len();
+    names.push(name.to_owned());
+    ids.insert(name.to_owned(), i);
+    freqs.push([1u64; 256]);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xquec_xml::gen::Dataset;
+
+    const DOC: &str = r#"<site><people>
+        <person id="person0"><name>Alice</name></person>
+        <person id="person1"><name>Alberta</name></person>
+        <person id="person2"><name>Bob</name></person>
+    </people></site>"#;
+
+    #[test]
+    fn exact_match_compressed() {
+        let doc = XgrindDoc::compress(DOC).unwrap();
+        let hits = doc.exact_match("site/people/person/@id", "person1");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value, "person1");
+        assert!(doc.exact_match("site/people/person/@id", "person9").is_empty());
+    }
+
+    #[test]
+    fn prefix_match_compressed() {
+        let doc = XgrindDoc::compress(DOC).unwrap();
+        let hits = doc.prefix_match("site/people/person/name/text()", "Al");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].value, "Alice");
+        assert_eq!(hits[1].value, "Alberta");
+    }
+
+    #[test]
+    fn range_requires_decompression() {
+        let doc = XgrindDoc::compress(DOC).unwrap();
+        let (hits, decomp) = doc.range_match("site/people/person/name/text()", "Alice", "Bob");
+        // "Alberta" sorts before "Alice" and is excluded.
+        assert_eq!(hits.len(), 2);
+        // But every candidate on the path was decompressed to find out.
+        assert_eq!(decomp, 3);
+    }
+
+    #[test]
+    fn compresses_generated_data() {
+        let xml = Dataset::Xmark.generate(200_000);
+        let doc = XgrindDoc::compress(&xml).unwrap();
+        let cf = doc.compression_factor();
+        assert!(cf > 0.2, "XGrind-like CF: {cf}");
+        assert!(doc.event_count() > 1000);
+    }
+}

@@ -1,0 +1,251 @@
+//! XMill-like compressor (Liefke & Suciu, SIGMOD 2000) — baseline for the
+//! compression-factor experiments (Fig. 6).
+//!
+//! Like XQueC, XMill separates structure from content and groups leaf values
+//! into per-path containers; *unlike* XQueC, each container is compressed as
+//! a single chunk ("XMill treated a container like a single chunk of data
+//! and compressed it as such, which disables access to any individual data
+//! node"). We reproduce that design: a tokenized structure stream plus
+//! whole-container `blz` blocks. The only read operation is full
+//! decompression — exactly the property the paper contrasts against.
+
+use std::collections::HashMap;
+use xquec_compress::bitio::{read_varint, write_varint};
+use xquec_compress::blz;
+use xquec_xml::{escape, Event, Reader, Result as XmlResult};
+
+// Structure-stream tokens.
+const TOK_END: usize = 0;
+const TOK_TEXT: usize = 1;
+const TOK_BASE: usize = 2; // start-element tokens: TOK_BASE + tag_code*2, attribute: +1
+
+/// An XMill-compressed document.
+pub struct XmillDoc {
+    /// Compressed structure stream.
+    structure: Vec<u8>,
+    /// Tag/attribute name dictionary in code order.
+    names: Vec<String>,
+    /// Compressed containers in container-id order.
+    containers: Vec<Vec<u8>>,
+    /// Original size.
+    pub original_bytes: usize,
+}
+
+impl XmillDoc {
+    /// Compress a document.
+    pub fn compress(xml: &str) -> XmlResult<Self> {
+        let mut names: Vec<String> = Vec::new();
+        let mut name_ids: HashMap<String, usize> = HashMap::new();
+        let mut intern = move |names: &mut Vec<String>, n: &str| -> usize {
+            if let Some(&i) = name_ids.get(n) {
+                return i;
+            }
+            let i = names.len();
+            names.push(n.to_owned());
+            name_ids.insert(n.to_owned(), i);
+            i
+        };
+
+        // Containers keyed by the path signature (deterministically
+        // re-derivable at decompression time).
+        let mut containers: Vec<Vec<u8>> = Vec::new();
+        let mut container_ids: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut structure: Vec<u8> = Vec::new();
+        let mut path: Vec<usize> = Vec::new();
+
+        let push_value = |containers: &mut Vec<Vec<u8>>,
+                              container_ids: &mut HashMap<Vec<usize>, usize>,
+                              key: Vec<usize>,
+                              value: &str| {
+            let id = *container_ids.entry(key).or_insert_with(|| {
+                containers.push(Vec::new());
+                containers.len() - 1
+            });
+            let c = &mut containers[id];
+            write_varint(c, value.len());
+            c.extend_from_slice(value.as_bytes());
+        };
+
+        let mut reader = Reader::new(xml);
+        while let Some(ev) = reader.next_event()? {
+            match ev {
+                Event::StartElement { name, attributes } => {
+                    let tag = intern(&mut names, &name);
+                    write_varint(&mut structure, TOK_BASE + tag * 2);
+                    path.push(tag * 2);
+                    for (an, av) in attributes {
+                        let code = intern(&mut names, &an);
+                        write_varint(&mut structure, TOK_BASE + code * 2 + 1);
+                        let mut key = path.clone();
+                        key.push(code * 2 + 1);
+                        push_value(&mut containers, &mut container_ids, key, &av);
+                    }
+                }
+                Event::Text(t) => {
+                    write_varint(&mut structure, TOK_TEXT);
+                    let mut key = path.clone();
+                    key.push(usize::MAX); // text marker
+                    push_value(&mut containers, &mut container_ids, key, &t);
+                }
+                Event::EndElement { .. } => {
+                    write_varint(&mut structure, TOK_END);
+                    path.pop();
+                }
+            }
+        }
+
+        Ok(XmillDoc {
+            structure: blz::compress(&structure),
+            names,
+            containers: containers.iter().map(|c| blz::compress(c)).collect(),
+            original_bytes: xml.len(),
+        })
+    }
+
+    /// Total compressed size in bytes (structure + dictionary + containers).
+    pub fn compressed_size(&self) -> usize {
+        self.structure.len()
+            + self.names.iter().map(|n| n.len() + 1).sum::<usize>()
+            + self.containers.iter().map(|c| c.len()).sum::<usize>()
+    }
+
+    /// Compression factor `1 - cs/os`.
+    pub fn compression_factor(&self) -> f64 {
+        1.0 - self.compressed_size() as f64 / self.original_bytes as f64
+    }
+
+    /// Number of containers formed.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Fully decompress back to XML. This inflates *every* container — the
+    /// cost XQueC's individually-accessible records avoid.
+    pub fn decompress(&self) -> String {
+        let structure = blz::decompress(&self.structure);
+        let plain: Vec<Vec<u8>> = self.containers.iter().map(|c| blz::decompress(c)).collect();
+        let mut cursors = vec![0usize; plain.len()];
+        // Rebuild the same path -> container assignment the compressor used.
+        let mut container_ids: HashMap<Vec<usize>, usize> = HashMap::new();
+        let mut next_container = 0usize;
+        let mut resolve = move |key: Vec<usize>| -> usize {
+            *container_ids.entry(key).or_insert_with(|| {
+                let id = next_container;
+                next_container += 1;
+                id
+            })
+        };
+
+        let mut out = String::with_capacity(self.original_bytes);
+        let mut path: Vec<usize> = Vec::new();
+        let mut tag_stack: Vec<usize> = Vec::new();
+        let mut pos = 0usize;
+        let read_value = |cid: usize, cursors: &mut Vec<usize>| -> String {
+            let buf = &plain[cid];
+            let (len, used) = read_varint(&buf[cursors[cid]..]).expect("corrupt container");
+            let start = cursors[cid] + used;
+            cursors[cid] = start + len;
+            String::from_utf8(buf[start..start + len].to_vec()).expect("UTF-8 container")
+        };
+        // Track whether the current start tag is still open (for attrs).
+        let mut tag_open = false;
+        while pos < structure.len() {
+            let (tok, used) = read_varint(&structure[pos..]).expect("corrupt structure");
+            pos += used;
+            match tok {
+                TOK_END => {
+                    let tag = tag_stack.pop().expect("balanced stream");
+                    if tag_open {
+                        out.push_str("/>");
+                        tag_open = false;
+                    } else {
+                        out.push_str("</");
+                        out.push_str(&self.names[tag]);
+                        out.push('>');
+                    }
+                    path.pop();
+                }
+                TOK_TEXT => {
+                    if tag_open {
+                        out.push('>');
+                        tag_open = false;
+                    }
+                    let mut key = path.clone();
+                    key.push(usize::MAX);
+                    let cid = resolve(key);
+                    let v = read_value(cid, &mut cursors);
+                    out.push_str(&escape::escape_text(&v));
+                }
+                t => {
+                    let code = (t - TOK_BASE) / 2;
+                    if (t - TOK_BASE) % 2 == 0 {
+                        // Start element.
+                        if tag_open {
+                            out.push('>');
+                        }
+                        out.push('<');
+                        out.push_str(&self.names[code]);
+                        tag_open = true;
+                        tag_stack.push(code);
+                        path.push(code * 2);
+                    } else {
+                        // Attribute of the open element.
+                        let mut key = path.clone();
+                        key.push(code * 2 + 1);
+                        let cid = resolve(key);
+                        let v = read_value(cid, &mut cursors);
+                        out.push(' ');
+                        out.push_str(&self.names[code]);
+                        out.push_str("=\"");
+                        out.push_str(&escape::escape_attr(&v));
+                        out.push('"');
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xquec_xml::gen::Dataset;
+
+    #[test]
+    fn roundtrip_small_doc() {
+        let xml = r#"<a x="1"><b>hello world</b><b>hello again</b><c/></a>"#;
+        let doc = XmillDoc::compress(xml).unwrap();
+        let back = doc.decompress();
+        assert_eq!(back, r#"<a x="1"><b>hello world</b><b>hello again</b><c/></a>"#);
+    }
+
+    #[test]
+    fn roundtrip_generated_xmark() {
+        let xml = Dataset::Xmark.generate(120_000);
+        let doc = XmillDoc::compress(&xml).unwrap();
+        let back = doc.decompress();
+        // Canonical comparison: reparse both and compare DOM shapes.
+        let d1 = xquec_xml::Document::parse(&xml).unwrap();
+        let d2 = xquec_xml::Document::parse(&back).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1.text_content(d1.root().unwrap()), d2.text_content(d2.root().unwrap()));
+    }
+
+    #[test]
+    fn compresses_well() {
+        let xml = Dataset::Xmark.generate(300_000);
+        let doc = XmillDoc::compress(&xml).unwrap();
+        let cf = doc.compression_factor();
+        assert!(cf > 0.55, "XMill-like CF should be strong: {cf}");
+        assert!(doc.container_count() > 10);
+    }
+
+    #[test]
+    fn groups_values_by_path() {
+        let xml = "<r><p><name>a</name></p><p><name>b</name></p><q><name>c</name></q></r>";
+        let doc = XmillDoc::compress(xml).unwrap();
+        // p/name and q/name are distinct containers.
+        assert_eq!(doc.container_count(), 2);
+    }
+}

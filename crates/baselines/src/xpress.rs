@@ -1,0 +1,312 @@
+//! XPRESS-like compressor (Min, Park & Chung, SIGMOD 2003) — baseline for
+//! the compression-factor experiments and the interval path-matching idea.
+//!
+//! XPRESS's signature technique is *reverse arithmetic encoding*: every
+//! distinct rooted path maps to a subinterval of `[0, 1)`, computed by
+//! refining the leaf tag's frequency interval with each ancestor in reverse
+//! (leaf-to-root) order. A path `P` is then a suffix of `Q`'s reverse
+//! exactly when `interval(Q) ⊆ interval(P)`, so descendant-style path
+//! queries become containment tests on a single float per element — no
+//! navigation, but still a full top-down scan of the stream (homomorphic
+//! compression, like XGrind). Values use simple type inference: numeric
+//! leaves get a binary encoding, strings get per-tag Huffman.
+
+use std::collections::HashMap;
+use xquec_compress::bitio::{read_varint, write_varint};
+use xquec_compress::{Huffman, NumericCodec};
+use xquec_xml::{Event, Reader, Result as XmlResult};
+
+const TOK_END: usize = 0;
+const TOK_TEXT: usize = 1;
+const TOK_BASE: usize = 2;
+
+/// An XPRESS-compressed document.
+pub struct XpressDoc {
+    /// Homomorphic token stream; element starts carry their path interval.
+    stream: Vec<u8>,
+    names: Vec<String>,
+    /// Tag intervals in `[0,1)` sized by frequency.
+    tag_intervals: Vec<(f64, f64)>,
+    /// Per-tag string models.
+    models: Vec<Huffman>,
+    /// Per-tag numeric codecs for type-inferred numeric leaves.
+    pub numeric: Vec<Option<NumericCodec>>,
+    /// Original size.
+    pub original_bytes: usize,
+}
+
+/// Reverse-arithmetic interval of a rooted path (leaf-to-root refinement).
+pub fn reverse_interval(tag_intervals: &[(f64, f64)], path_codes: &[usize]) -> (f64, f64) {
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for &code in path_codes.iter().rev() {
+        let (tlo, thi) = tag_intervals[code];
+        let w = hi - lo;
+        let nlo = lo + w * tlo;
+        let nhi = lo + w * thi;
+        lo = nlo;
+        hi = nhi;
+    }
+    (lo, hi)
+}
+
+impl XpressDoc {
+    /// Two-pass compression: statistics, then encoding.
+    pub fn compress(xml: &str) -> XmlResult<Self> {
+        // Pass 1: tag frequencies, per-tag byte frequencies, numeric typing.
+        let mut names: Vec<String> = Vec::new();
+        let mut ids: HashMap<String, usize> = HashMap::new();
+        let mut tag_counts: Vec<u64> = Vec::new();
+        let mut freqs: Vec<[u64; 256]> = Vec::new();
+        let mut values_by_tag: Vec<Vec<Vec<u8>>> = Vec::new();
+        let intern = |names: &mut Vec<String>,
+                          ids: &mut HashMap<String, usize>,
+                          tag_counts: &mut Vec<u64>,
+                          freqs: &mut Vec<[u64; 256]>,
+                          values: &mut Vec<Vec<Vec<u8>>>,
+                          n: &str|
+         -> usize {
+            if let Some(&i) = ids.get(n) {
+                return i;
+            }
+            let i = names.len();
+            names.push(n.to_owned());
+            ids.insert(n.to_owned(), i);
+            tag_counts.push(0);
+            freqs.push([1u64; 256]);
+            values.push(Vec::new());
+            i
+        };
+        {
+            let mut reader = Reader::new(xml);
+            let mut stack: Vec<usize> = Vec::new();
+            while let Some(ev) = reader.next_event()? {
+                match ev {
+                    Event::StartElement { name, attributes } => {
+                        let tag = intern(
+                            &mut names,
+                            &mut ids,
+                            &mut tag_counts,
+                            &mut freqs,
+                            &mut values_by_tag,
+                            &name,
+                        );
+                        tag_counts[tag] += 1;
+                        for (an, av) in &attributes {
+                            let code = intern(
+                                &mut names,
+                                &mut ids,
+                                &mut tag_counts,
+                                &mut freqs,
+                                &mut values_by_tag,
+                                an,
+                            );
+                            tag_counts[code] += 1;
+                            for &b in av.as_bytes() {
+                                freqs[code][b as usize] += 1;
+                            }
+                            values_by_tag[code].push(av.as_bytes().to_vec());
+                        }
+                        stack.push(tag);
+                    }
+                    Event::Text(t) => {
+                        let &tag = stack.last().expect("text inside element");
+                        for &b in t.as_bytes() {
+                            freqs[tag][b as usize] += 1;
+                        }
+                        values_by_tag[tag].push(t.into_bytes());
+                    }
+                    Event::EndElement { .. } => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        // Frequency-proportional tag intervals.
+        let total: u64 = tag_counts.iter().sum::<u64>().max(1);
+        let mut tag_intervals = Vec::with_capacity(tag_counts.len());
+        let mut acc = 0.0f64;
+        for &c in &tag_counts {
+            let w = (c.max(1)) as f64 / total as f64;
+            tag_intervals.push((acc, acc + w));
+            acc += w;
+        }
+        // Normalize so the last interval ends exactly at 1.
+        if let Some(last) = tag_intervals.last_mut() {
+            last.1 = last.1.max(acc);
+        }
+        let models: Vec<Huffman> = freqs.iter().map(Huffman::from_frequencies).collect();
+        let numeric: Vec<Option<NumericCodec>> = values_by_tag
+            .iter()
+            .map(|vals| NumericCodec::detect(vals.iter().map(|v| v.as_slice())))
+            .collect();
+
+        // Pass 2: encode. Element starts carry the reverse-arithmetic
+        // interval start of their rooted path as an f64.
+        let mut stream: Vec<u8> = Vec::new();
+        let mut reader = Reader::new(xml);
+        let mut stack: Vec<usize> = Vec::new();
+        let encode_value = |stream: &mut Vec<u8>, tag: usize, v: &[u8]| {
+            if let Some(nc) = &numeric[tag] {
+                if let Some(enc) = nc.compress(v) {
+                    stream.push(1); // numeric marker
+                    write_varint(stream, enc.len());
+                    stream.extend_from_slice(&enc);
+                    return;
+                }
+            }
+            let comp = models[tag].compress(v);
+            stream.push(0);
+            write_varint(stream, comp.len());
+            stream.extend_from_slice(&comp);
+        };
+        while let Some(ev) = reader.next_event()? {
+            match ev {
+                Event::StartElement { name, attributes } => {
+                    let tag = ids[&name];
+                    stack.push(tag);
+                    write_varint(&mut stream, TOK_BASE + tag * 2);
+                    let (lo, _) = reverse_interval(&tag_intervals, &stack);
+                    stream.extend_from_slice(&lo.to_le_bytes());
+                    for (an, av) in &attributes {
+                        let code = ids[an.as_str()];
+                        write_varint(&mut stream, TOK_BASE + code * 2 + 1);
+                        encode_value(&mut stream, code, av.as_bytes());
+                    }
+                }
+                Event::Text(t) => {
+                    let &tag = stack.last().expect("text inside element");
+                    write_varint(&mut stream, TOK_TEXT);
+                    encode_value(&mut stream, tag, t.as_bytes());
+                }
+                Event::EndElement { .. } => {
+                    write_varint(&mut stream, TOK_END);
+                    stack.pop();
+                }
+            }
+        }
+
+        Ok(XpressDoc {
+            stream,
+            names,
+            tag_intervals,
+            models,
+            numeric,
+            original_bytes: xml.len(),
+        })
+    }
+
+    /// Compressed size (stream + dictionary + interval table + models).
+    pub fn compressed_size(&self) -> usize {
+        self.stream.len()
+            + self.names.iter().map(|n| n.len() + 1).sum::<usize>()
+            + self.tag_intervals.len() * 16
+            + self.models.len() * 256
+    }
+
+    /// Compression factor `1 - cs/os`.
+    pub fn compression_factor(&self) -> f64 {
+        1.0 - self.compressed_size() as f64 / self.original_bytes as f64
+    }
+
+    /// Count elements whose rooted path *ends with* the given tag sequence —
+    /// evaluated by interval containment on the per-element float, scanning
+    /// the whole stream top-down (XPRESS's query model for `//a/b` paths).
+    pub fn count_path_suffix(&self, suffix: &[&str]) -> usize {
+        let codes: Option<Vec<usize>> =
+            suffix.iter().map(|s| self.names.iter().position(|n| n == s)).collect();
+        let Some(codes) = codes else { return 0 };
+        let (qlo, qhi) = reverse_interval(&self.tag_intervals, &codes);
+        let mut count = 0usize;
+        self.scan(|tok, payload| {
+            if tok >= TOK_BASE && (tok - TOK_BASE) % 2 == 0 {
+                let lo = f64::from_le_bytes(payload.try_into().expect("8-byte interval"));
+                if lo >= qlo && lo < qhi {
+                    count += 1;
+                }
+            }
+        });
+        count
+    }
+
+    /// Walk the stream, handing each token (and its fixed payload for
+    /// element starts) to `f`. Values are skipped.
+    fn scan(&self, mut f: impl FnMut(usize, &[u8])) {
+        let mut pos = 0usize;
+        while pos < self.stream.len() {
+            let (tok, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+            pos += used;
+            match tok {
+                TOK_END => f(tok, &[]),
+                TOK_TEXT => {
+                    pos += 1; // type marker
+                    let (len, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+                    pos += used + len;
+                    f(tok, &[]);
+                }
+                t if (t - TOK_BASE) % 2 == 0 => {
+                    let payload = &self.stream[pos..pos + 8];
+                    pos += 8;
+                    f(t, payload);
+                }
+                t => {
+                    pos += 1;
+                    let (len, used) = read_varint(&self.stream[pos..]).expect("corrupt stream");
+                    pos += used + len;
+                    f(t, &[]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xquec_xml::gen::Dataset;
+
+    #[test]
+    fn interval_containment_matches_suffixes() {
+        // Path a/b/c: interval(a/b/c) ⊆ interval(b/c) ⊆ interval(c).
+        let tags = vec![(0.0, 0.3), (0.3, 0.7), (0.7, 1.0)];
+        let abc = reverse_interval(&tags, &[0, 1, 2]);
+        let bc = reverse_interval(&tags, &[1, 2]);
+        let c = reverse_interval(&tags, &[2]);
+        assert!(abc.0 >= bc.0 && abc.1 <= bc.1);
+        assert!(bc.0 >= c.0 && bc.1 <= c.1);
+        // A different leaf is disjoint.
+        let ab = reverse_interval(&tags, &[0, 1]);
+        assert!(ab.1 <= c.0 || ab.0 >= c.1);
+    }
+
+    #[test]
+    fn path_queries_by_containment() {
+        let xml = r#"<site><people><person><name>x</name></person>
+            <person><name>y</name></person></people>
+            <regions><item><name>z</name></item></regions></site>"#;
+        let doc = XpressDoc::compress(xml).unwrap();
+        assert_eq!(doc.count_path_suffix(&["name"]), 3);
+        assert_eq!(doc.count_path_suffix(&["person", "name"]), 2);
+        assert_eq!(doc.count_path_suffix(&["item", "name"]), 1);
+        assert_eq!(doc.count_path_suffix(&["person"]), 2);
+        assert_eq!(doc.count_path_suffix(&["nosuch"]), 0);
+    }
+
+    #[test]
+    fn compresses_generated_data() {
+        let xml = Dataset::Xmark.generate(200_000);
+        let doc = XpressDoc::compress(&xml).unwrap();
+        let cf = doc.compression_factor();
+        assert!(cf > 0.25, "XPRESS-like CF: {cf}");
+    }
+
+    #[test]
+    fn numeric_type_inference() {
+        let xml = "<r><n>42</n><n>7</n><s>hello</s><s>world</s></r>";
+        let doc = XpressDoc::compress(xml).unwrap();
+        let n_code = doc.names.iter().position(|x| x == "n").unwrap();
+        let s_code = doc.names.iter().position(|x| x == "s").unwrap();
+        assert!(doc.numeric[n_code].is_some());
+        assert!(doc.numeric[s_code].is_none());
+    }
+}

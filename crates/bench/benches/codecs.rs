@@ -1,0 +1,75 @@
+//! A1 — codec ablation bench: compression and decompression throughput of
+//! every algorithm in the pool, on a prose container corpus. This is the
+//! measurement behind §2.1's claims ("ALM decompresses faster than Huffman,
+//! since it outputs bigger portions of a string at a time") and the cost
+//! model's `d_c` constants.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use xquec_compress::{blz, CodecKind, ValueCodec};
+use xquec_xml::gen::Dataset;
+
+fn corpus() -> Vec<String> {
+    let xml = Dataset::Shakespeare.generate(400_000);
+    let doc = xquec_xml::Document::parse(&xml).expect("valid");
+    let root = doc.root().expect("root");
+    doc.descendant_elements(root, "LINE").iter().map(|&n| doc.immediate_text(n)).collect()
+}
+
+fn codec_throughput(c: &mut Criterion) {
+    let values = corpus();
+    let bytes: usize = values.iter().map(|v| v.len()).sum();
+    let refs: Vec<&[u8]> = values.iter().map(|v| v.as_bytes()).collect();
+
+    let mut g = c.benchmark_group("codec_decompress");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for kind in
+        [CodecKind::Huffman, CodecKind::Alm, CodecKind::HuTucker, CodecKind::Arith, CodecKind::Raw]
+    {
+        let codec = ValueCodec::train(kind, &refs);
+        let comp: Vec<Vec<u8>> =
+            values.iter().map(|v| codec.compress(v.as_bytes()).expect("encodes")).collect();
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for cv in &comp {
+                    n += codec.decompress(cv).len();
+                }
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("codec_compress");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in [CodecKind::Huffman, CodecKind::Alm, CodecKind::HuTucker, CodecKind::Arith] {
+        let codec = ValueCodec::train(kind, &refs);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for v in &values {
+                    n += codec.compress(v.as_bytes()).expect("encodes").len();
+                }
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+
+    // Block compressor on the concatenated corpus.
+    let joined: Vec<u8> = values.iter().flat_map(|v| v.as_bytes().iter().copied()).collect();
+    let blob = blz::compress(&joined);
+    let mut g = c.benchmark_group("blz_block");
+    g.throughput(Throughput::Bytes(joined.len() as u64));
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("compress", |b| b.iter(|| black_box(blz::compress(&joined).len())));
+    g.bench_function("decompress", |b| b.iter(|| black_box(blz::decompress(&blob).len())));
+    g.finish();
+}
+
+criterion_group!(benches, codec_throughput);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches mirroring the paper's figures.
+//!
+//! `fig6/*` times whole-document compression per system (the work behind the
+//! Fig. 6 compression factors); `fig7/*` times every Fig. 7 query on the
+//! XQueC engine, plus the Galax-like engine on the queries where it is
+//! feasible at bench cadence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use xquec_baselines::{GalaxEngine, XgrindDoc, XmillDoc, XpressDoc};
+use xquec_core::loader::{load_with, LoaderOptions};
+use xquec_core::queries::{xmark_workload, XMARK_QUERIES};
+use xquec_core::query::Engine;
+use xquec_xml::gen::Dataset;
+
+fn fig6_compression(c: &mut Criterion) {
+    let xml = Dataset::Xmark.generate(200_000);
+    let opts = LoaderOptions { workload: Some(xmark_workload()), ..Default::default() };
+    let mut g = c.benchmark_group("fig6_compress_200kb");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("xquec_load", |b| {
+        b.iter(|| black_box(load_with(&xml, &opts).expect("load").size_report().total()))
+    });
+    g.bench_function("xmill", |b| {
+        b.iter(|| black_box(XmillDoc::compress(&xml).expect("xmill").compressed_size()))
+    });
+    g.bench_function("xgrind", |b| {
+        b.iter(|| black_box(XgrindDoc::compress(&xml).expect("xgrind").compressed_size()))
+    });
+    g.bench_function("xpress", |b| {
+        b.iter(|| black_box(XpressDoc::compress(&xml).expect("xpress").compressed_size()))
+    });
+    g.finish();
+}
+
+fn fig7_queries(c: &mut Criterion) {
+    let xml = Dataset::Xmark.generate(600_000);
+    let opts = LoaderOptions { workload: Some(xmark_workload()), ..Default::default() };
+    let repo = load_with(&xml, &opts).expect("load");
+    let engine = Engine::new(&repo);
+    let mut g = c.benchmark_group("fig7_xquec_600kb");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for q in XMARK_QUERIES.iter().filter(|q| q.in_figure7) {
+        g.bench_function(q.id, |b| b.iter(|| black_box(engine.run(q.text).expect("query"))));
+    }
+    g.finish();
+
+    // Galax on the cheap queries only (Q8/Q9 are quadratic there; the repro
+    // binary measures those once with a timeout instead).
+    let galax = GalaxEngine::load(&xml).expect("galax");
+    let mut g = c.benchmark_group("fig7_galax_600kb");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for id in ["Q1", "Q2", "Q5", "Q6", "Q7", "Q17", "Q20"] {
+        let q = xquec_core::queries::query(id).expect("catalog");
+        g.bench_function(q.id, |b| b.iter(|| black_box(galax.run(q.text).expect("query"))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6_compression, fig7_queries);
+criterion_main!(benches);

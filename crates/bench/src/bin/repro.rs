@@ -1,0 +1,192 @@
+//! `repro` — regenerate every table and figure of the XQueC paper.
+//!
+//! ```text
+//! repro [--quick] <experiment>...
+//! experiments: table1 fig6-left fig6-right fig7 partition storage-overhead
+//!              ablation-codecs all
+//! ```
+//!
+//! Results are printed as tables and appended as JSON under `results/`.
+
+use std::fs;
+use std::path::Path;
+use xquec_bench::experiments::{self, Profile};
+use xquec_bench::{human_bytes, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = vec![
+            "table1".into(),
+            "fig6-left".into(),
+            "fig6-right".into(),
+            "partition".into(),
+            "storage-overhead".into(),
+            "ablation-codecs".into(),
+            "fig7".into(),
+        ];
+    }
+    let p = Profile { quick };
+    let results_dir = Path::new("results");
+    fs::create_dir_all(results_dir).expect("create results dir");
+
+    for exp in &wanted {
+        println!("\n=== {exp} {} ===", if quick { "(quick profile)" } else { "" });
+        match exp.as_str() {
+            "table1" => {
+                let rows = experiments::table1(p);
+                print_table(
+                    &["dataset", "size", "nodes", "names", "containers", "paths", "value%"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.name.clone(),
+                                human_bytes(r.bytes),
+                                r.nodes.to_string(),
+                                r.distinct_names.to_string(),
+                                r.containers.to_string(),
+                                r.summary_nodes.to_string(),
+                                format!("{:.0}%", r.value_ratio * 100.0),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                save(results_dir, "table1", &rows);
+            }
+            "fig6-left" => {
+                let rows = experiments::fig6_left(p);
+                print_cf(&rows);
+                save(results_dir, "fig6_left", &rows);
+            }
+            "fig6-right" => {
+                let rows = experiments::fig6_right(p);
+                print_cf(&rows);
+                save(results_dir, "fig6_right", &rows);
+            }
+            "fig7" => {
+                let report = experiments::fig7(p);
+                println!(
+                    "document {} | XQueC load {:.2}s footprint {} | Galax load {:.2}s footprint {}",
+                    human_bytes(report.bytes),
+                    report.xquec_load_s,
+                    human_bytes(report.xquec_footprint),
+                    report.galax_load_s,
+                    human_bytes(report.galax_footprint),
+                );
+                print_table(
+                    &["query", "XQueC (s)", "Galax (s)", "speedup", "decomp", "comp-ops", "match"],
+                    &report
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.query.clone(),
+                                format!("{:.4}", r.xquec_s),
+                                r.galax_s.map_or("DNF".into(), |g| format!("{g:.4}")),
+                                r.galax_s
+                                    .map_or("-".into(), |g| format!("{:.1}x", g / r.xquec_s.max(1e-9))),
+                                r.xquec_decompressions.to_string(),
+                                r.xquec_compressed_ops.to_string(),
+                                r.results_match.map_or("-".into(), |m| m.to_string()),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                save(results_dir, "fig7", &report);
+            }
+            "partition" => {
+                let r = experiments::partition_example(p);
+                print_table(
+                    &["configuration", "measured CF", "cost-model estimate", "groups"],
+                    &[
+                        vec![
+                            "NaiveConf (one shared ALM model)".into(),
+                            format!("{:.2}%", r.naive_cf * 100.0),
+                            format!("{:.0}", r.naive_cost),
+                            "1".into(),
+                        ],
+                        vec![
+                            "GoodConf (greedy, workload-driven)".into(),
+                            format!("{:.2}%", r.good_cf * 100.0),
+                            format!("{:.0}", r.good_cost),
+                            format!("{:?}", r.good_groups),
+                        ],
+                    ],
+                );
+                save(results_dir, "partition", &r);
+            }
+            "storage-overhead" => {
+                let rows = experiments::storage_overhead(p);
+                print_table(
+                    &["document", "summary/doc", "CF (all structures)", "access factor"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                human_bytes(r.bytes),
+                                format!("{:.1}%", r.summary_fraction * 100.0),
+                                format!("{:.1}%", r.cf_full * 100.0),
+                                format!("{:.2}x", r.access_structure_factor),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                save(results_dir, "storage_overhead", &rows);
+            }
+            "ablation-codecs" => {
+                let rows = experiments::ablation_codecs(p);
+                print_table(
+                    &["corpus", "codec", "ratio", "decompress MB/s", "properties"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.corpus.clone(),
+                                r.codec.clone(),
+                                format!("{:.3}", r.ratio),
+                                format!("{:.1}", r.decompress_mb_s),
+                                r.properties.clone(),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                save(results_dir, "ablation_codecs", &rows);
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn print_cf(rows: &[experiments::CfRow]) {
+    print_table(
+        &["dataset", "size", "XQueC (query)", "XQueC (archive)", "XMill", "XGrind", "XPRESS"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    human_bytes(r.bytes),
+                    format!("{:.1}%", r.xquec_query * 100.0),
+                    format!("{:.1}%", r.xquec_archive * 100.0),
+                    format!("{:.1}%", r.xmill * 100.0),
+                    format!("{:.1}%", r.xgrind * 100.0),
+                    format!("{:.1}%", r.xpress * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn save<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    fs::write(&path, json).expect("write results");
+    println!("(saved {})", path.display());
+}

@@ -1,0 +1,100 @@
+//! Shared harness utilities for the reproduction experiments.
+//!
+//! Each experiment of the paper (`DESIGN.md`, experiments index) is a
+//! function in [`experiments`] that returns structured rows; the `repro`
+//! binary prints them as tables and appends them to a JSON log so
+//! `EXPERIMENTS.md` can cite exact numbers.
+
+pub mod experiments;
+
+use std::time::Instant;
+
+/// Wall-clock one closure, returning (result, seconds).
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Wall-clock the median of `n` runs (result from the last run).
+pub fn time_median<T>(n: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(n >= 1);
+    let mut times = Vec::with_capacity(n);
+    let mut out = None;
+    for _ in 0..n {
+        let (v, t) = time(&mut f);
+        times.push(t);
+        out = Some(v);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (out.expect("n >= 1"), times[times.len() / 2])
+}
+
+/// Render rows as a fixed-width table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:width$} |", c, width = widths[i]));
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<width$}|", "", width = w + 2));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Format bytes human-readably.
+pub fn human_bytes(b: usize) -> String {
+    if b >= 10_000_000 {
+        format!("{:.1} MB", b as f64 / 1e6)
+    } else if b >= 10_000 {
+        format!("{:.1} KB", b as f64 / 1e3)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive() {
+        let (v, t) = time(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn median_of_runs() {
+        let mut i = 0;
+        let (_, t) = time_median(3, || {
+            i += 1;
+            i
+        });
+        assert!(t >= 0.0);
+        assert_eq!(i, 3);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(12), "12 B");
+        assert_eq!(human_bytes(12_000), "12.0 KB");
+        assert_eq!(human_bytes(12_000_000), "12.0 MB");
+    }
+}

@@ -1,0 +1,533 @@
+//! ALM order-preserving dictionary compression (Antoshenkov, VLDB J. 1997),
+//! the codec XQueC uses for string containers queried with inequality
+//! predicates.
+//!
+//! The source string space is partitioned into disjoint *partitioning
+//! intervals*, each owned by a dictionary token; codes are assigned to the
+//! intervals in lexicographic order, so comparing two compressed values with
+//! plain `memcmp` reproduces the order of the original strings:
+//! `comp(x) < comp(y)` iff `x < y`. Unlike plain order-preserving dictionary
+//! schemes, a token may own *several* intervals ("the" in the paper's Fig. 2
+//! owns `[theaa,therd]` and `[therf,thezz]`, split around the longer token
+//! "there") — this is exactly how ALM escapes the prefix-property problem.
+//!
+//! Construction here:
+//! 1. tokens = every byte present in the training corpus (guaranteeing
+//!    encodability) plus frequent multi-byte substrings mined from it;
+//! 2. a DFS over the token prefix-trie enumerates the partitioning intervals
+//!    in lexicographic order: for a token `t` with immediate extensions
+//!    `c1 < … < ck`, the gaps `[t, c1)`, `(c1-subtree, c2)`, …,
+//!    `(ck-subtree, t·max]` are `t`'s intervals, interleaved with the
+//!    recursively enumerated intervals of each `ci`;
+//! 3. interval `i` (in that global order) receives code `i` on a fixed
+//!    width of 1 or 2 bytes — fixed width keeps concatenated codes
+//!    `memcmp`-comparable.
+//!
+//! Encoding is greedy longest-prefix: the deepest token matching the
+//! remaining input owns it; the interval within that token is found by
+//! counting its child tokens that order below the remaining input.
+//! Decompression is a flat table lookup per code — several output bytes per
+//! step, which is why ALM decodes faster than bit-by-bit Huffman (§2.1).
+
+use std::collections::HashMap;
+
+/// A trained ALM model (dictionary + interval codes).
+#[derive(Debug, Clone)]
+pub struct Alm {
+    /// Dictionary tokens, lexicographically sorted, deduplicated.
+    tokens: Vec<Vec<u8>>,
+    /// `children[t]` = indices of the immediate token-extensions of `t`.
+    children: Vec<Vec<u32>>,
+    /// `gap_codes[t][j]` = global code of token `t`'s `j`-th interval.
+    gap_codes: Vec<Vec<u32>>,
+    /// Decode table: code -> token index.
+    code_token: Vec<u32>,
+    /// Code width in bytes (1 or 2).
+    width: u8,
+    /// Trie for longest-prefix matching: (node, byte) -> node.
+    trie_next: HashMap<(u32, u8), u32>,
+    /// Token index at a trie node, if the node spells a full token.
+    trie_token: Vec<Option<u32>>,
+}
+
+/// Tunables for dictionary construction.
+#[derive(Debug, Clone)]
+pub struct AlmConfig {
+    /// Maximum number of dictionary tokens (singles + substrings).
+    pub max_tokens: usize,
+    /// Minimum occurrences for a substring to be considered.
+    pub min_freq: u32,
+    /// Cap on corpus bytes sampled for substring mining.
+    pub sample_bytes: usize,
+}
+
+impl Default for AlmConfig {
+    fn default() -> Self {
+        AlmConfig { max_tokens: 8192, min_freq: 4, sample_bytes: 1 << 21 }
+    }
+}
+
+impl Alm {
+    /// Train a model on a corpus of values with default configuration.
+    pub fn train<'a, I: IntoIterator<Item = &'a [u8]>>(corpus: I) -> Self {
+        Self::train_with(corpus, &AlmConfig::default())
+    }
+
+    /// Train with explicit configuration.
+    ///
+    /// Two models are built — one whose interval table fits single-byte
+    /// codes, and one with the full dictionary budget (two-byte codes) —
+    /// and the one producing the smaller output (including its dictionary)
+    /// on a corpus sample wins. This mirrors ALM's practical deployment,
+    /// where dictionary size is tuned to the data.
+    pub fn train_with<'a, I: IntoIterator<Item = &'a [u8]>>(corpus: I, cfg: &AlmConfig) -> Self {
+        let (narrow, wide, corpus_bytes, sample) = Self::train_variants(corpus, cfg);
+        match narrow {
+            None => wide,
+            Some(narrow) => {
+                // Compare projected whole-corpus sizes: the sample ratio is
+                // extrapolated to the full corpus so the dictionary cost is
+                // weighed against what it will actually amortize over.
+                let sample_bytes: usize = sample.iter().map(|v| v.len()).sum();
+                let cost = |m: &Alm| -> f64 {
+                    let comp: usize =
+                        sample.iter().map(|v| m.compress(v).map_or(v.len(), |c| c.len())).sum();
+                    let ratio = comp as f64 / sample_bytes.max(1) as f64;
+                    m.model_size() as f64 + ratio * corpus_bytes as f64
+                };
+                if cost(&narrow) <= cost(&wide) {
+                    narrow
+                } else {
+                    wide
+                }
+            }
+        }
+    }
+
+    /// Train both dictionary widths, returning `(narrow-if-distinct, wide,
+    /// corpus bytes, sample)`. Exposed for the codec ablation harness.
+    pub fn train_variants<'a, I: IntoIterator<Item = &'a [u8]>>(
+        corpus: I,
+        cfg: &AlmConfig,
+    ) -> (Option<Self>, Self, usize, Vec<Vec<u8>>) {
+        let mut singles = [false; 256];
+        let mut counts: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut sampled = 0usize;
+        let mut corpus_bytes = 0usize;
+        let mut sample: Vec<Vec<u8>> = Vec::new();
+        for value in corpus {
+            corpus_bytes += value.len();
+            for &b in value {
+                singles[b as usize] = true;
+            }
+            if sampled < cfg.sample_bytes {
+                sampled += value.len();
+                mine_substrings(value, &mut counts);
+                if sample.len() < 512 {
+                    sample.push(value.to_vec());
+                }
+            }
+        }
+        // Score candidates by bytes saved: freq * (len - 1).
+        let mut cands: Vec<(Vec<u8>, u64)> = counts
+            .into_iter()
+            .filter(|(s, f)| *f >= cfg.min_freq && s.len() >= 2)
+            .map(|(s, f)| {
+                let score = f as u64 * (s.len() as u64 - 1);
+                (s, score)
+            })
+            .collect();
+        cands.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        let mut single_tokens: Vec<Vec<u8>> =
+            (0..256u16).filter(|&b| singles[b as usize]).map(|b| vec![b as u8]).collect();
+        if single_tokens.is_empty() {
+            // All-empty corpus: any placeholder token keeps the model valid
+            // (empty strings encode to empty byte sequences regardless).
+            single_tokens.push(vec![0]);
+        }
+        let build = |extra: usize| -> Alm {
+            let mut tokens = single_tokens.clone();
+            tokens.extend(cands.iter().take(extra).map(|(s, _)| s.clone()));
+            Self::from_tokens(tokens)
+        };
+
+        // Wide model: full budget.
+        let budget = cfg.max_tokens.saturating_sub(single_tokens.len()).min(cands.len());
+        let wide = build(budget);
+
+        // Narrow model: the largest candidate prefix whose interval table
+        // still fits one-byte codes.
+        let narrow = if wide.code_width() == 1 {
+            None
+        } else {
+            let mut lo = 0usize;
+            let mut hi = budget.min(256usize.saturating_sub(single_tokens.len()));
+            while lo < hi {
+                let mid = (lo + hi + 1) / 2;
+                if build(mid).interval_count() <= 256 {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            Some(build(lo))
+        };
+
+        (narrow, wide, corpus_bytes, sample)
+    }
+
+    /// Build the interval structure from an explicit token set. Every byte
+    /// that can appear in an encodable value must be present as a single-byte
+    /// token (unknown bytes make [`Alm::compress`] return `None`).
+    pub fn from_tokens(mut tokens: Vec<Vec<u8>>) -> Self {
+        tokens.retain(|t| !t.is_empty());
+        tokens.sort();
+        tokens.dedup();
+        assert!(!tokens.is_empty(), "ALM requires at least one token");
+        let n = tokens.len();
+
+        // Immediate-parent relation: walking the sorted list with a stack of
+        // open prefixes yields each token's nearest proper prefix ancestor.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut roots: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..n {
+            while let Some(&top) = stack.last() {
+                if tokens[i].starts_with(&tokens[top as usize]) {
+                    break;
+                }
+                stack.pop();
+            }
+            match stack.last() {
+                Some(&parent) => children[parent as usize].push(i as u32),
+                None => roots.push(i as u32),
+            }
+            stack.push(i as u32);
+        }
+
+        // DFS enumeration of intervals in lexicographic order.
+        let mut gap_codes: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut code_token: Vec<u32> = Vec::new();
+        // Iterative DFS to avoid recursion-depth issues on long token chains.
+        // Frame: (token, next child slot to process).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for &root in &roots {
+            frames.push((root, 0));
+            // Opening a token: its first gap [t, c1) gets the next code.
+            gap_codes[root as usize].push(code_token.len() as u32);
+            code_token.push(root);
+            while let Some(&mut (t, ref mut slot)) = frames.last_mut() {
+                if *slot < children[t as usize].len() {
+                    let c = children[t as usize][*slot];
+                    *slot += 1;
+                    frames.push((c, 0));
+                    gap_codes[c as usize].push(code_token.len() as u32);
+                    code_token.push(c);
+                } else {
+                    frames.pop();
+                    // Returning to the parent: the gap after this child.
+                    if let Some(&(p, _)) = frames.last() {
+                        gap_codes[p as usize].push(code_token.len() as u32);
+                        code_token.push(p);
+                    }
+                }
+            }
+        }
+        debug_assert!(gap_codes.iter().enumerate().all(|(t, g)| g.len() == children[t].len() + 1));
+
+        let width: u8 = if code_token.len() <= 256 { 1 } else { 2 };
+        assert!(code_token.len() <= 65_536, "ALM piece table overflow");
+
+        // Longest-prefix trie.
+        let mut trie_next: HashMap<(u32, u8), u32> = HashMap::new();
+        let mut trie_token: Vec<Option<u32>> = vec![None];
+        for (i, tok) in tokens.iter().enumerate() {
+            let mut node = 0u32;
+            for &b in tok {
+                node = match trie_next.get(&(node, b)) {
+                    Some(&nx) => nx,
+                    None => {
+                        let nx = trie_token.len() as u32;
+                        trie_token.push(None);
+                        trie_next.insert((node, b), nx);
+                        nx
+                    }
+                };
+            }
+            trie_token[node as usize] = Some(i as u32);
+        }
+
+        Alm { tokens, children, gap_codes, code_token, width, trie_next, trie_token }
+    }
+
+    /// Code width in bytes (1 or 2).
+    pub fn code_width(&self) -> u8 {
+        self.width
+    }
+
+    /// The sorted dictionary tokens (the serializable model: the interval
+    /// table is recomputed deterministically from these by `from_tokens`).
+    pub fn tokens(&self) -> &[Vec<u8>] {
+        &self.tokens
+    }
+
+    /// Number of partitioning intervals.
+    pub fn interval_count(&self) -> usize {
+        self.code_token.len()
+    }
+
+    /// Serialized dictionary size estimate in bytes (source model cost).
+    ///
+    /// The interval table is fully determined by the token set (codes are a
+    /// deterministic DFS enumeration), so only the sorted dictionary needs
+    /// storing — front-coded: a shared-prefix length, a suffix length, and
+    /// the suffix bytes per token.
+    pub fn model_size(&self) -> usize {
+        let mut total = 0usize;
+        let mut prev: &[u8] = &[];
+        for t in &self.tokens {
+            let common = prev.iter().zip(t.iter()).take_while(|(a, b)| a == b).count();
+            total += 2 + (t.len() - common);
+            prev = t;
+        }
+        total
+    }
+
+    /// Compress a value; `None` if it contains a byte absent from the model.
+    pub fn compress(&self, value: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(value.len() / 2 + 1);
+        let mut i = 0usize;
+        while i < value.len() {
+            // Longest token that prefixes value[i..].
+            let mut node = 0u32;
+            let mut best: Option<(u32, usize)> = None;
+            let mut j = i;
+            while j < value.len() {
+                match self.trie_next.get(&(node, value[j])) {
+                    Some(&nx) => {
+                        node = nx;
+                        j += 1;
+                        if let Some(tok) = self.trie_token[node as usize] {
+                            best = Some((tok, j - i));
+                        }
+                    }
+                    None => break,
+                }
+            }
+            let (tok, len) = best?;
+            // Interval within the token: count children ordering below the
+            // remaining input. The remaining input starts with `tok` but with
+            // no child token as prefix, so plain comparison is unambiguous.
+            let rest = &value[i..];
+            let kids = &self.children[tok as usize];
+            let gap = kids.partition_point(|&c| self.tokens[c as usize].as_slice() < rest);
+            let code = self.gap_codes[tok as usize][gap];
+            match self.width {
+                1 => out.push(code as u8),
+                _ => out.extend_from_slice(&(code as u16).to_be_bytes()),
+            }
+            i += len;
+        }
+        Some(out)
+    }
+
+    /// Decompress a value produced by [`Alm::compress`].
+    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() * 3);
+        match self.width {
+            1 => {
+                for &b in data {
+                    let tok = self.code_token[b as usize];
+                    out.extend_from_slice(&self.tokens[tok as usize]);
+                }
+            }
+            _ => {
+                debug_assert!(data.len() % 2 == 0, "odd ALM payload");
+                for pair in data.chunks_exact(2) {
+                    let code = u16::from_be_bytes([pair[0], pair[1]]) as usize;
+                    let tok = self.code_token[code];
+                    out.extend_from_slice(&self.tokens[tok as usize]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Count candidate substrings of a value: word-aligned tokens (with leading
+/// separator attached, which is where prose redundancy lives), adjacent word
+/// *pairs* (high-value dictionary entries under Zipfian text), and low-order
+/// n-grams (covering digits and punctuation runs).
+fn mine_substrings(value: &[u8], counts: &mut HashMap<Vec<u8>, u32>) {
+    // Words with their leading separator, e.g. " the", plus word bigrams
+    // like " of the".
+    let mut word_starts: Vec<usize> = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i <= value.len() {
+        let boundary = i == value.len() || !value[i].is_ascii_alphanumeric();
+        if boundary {
+            if i > start {
+                let from = start.saturating_sub(1);
+                if i - from <= 24 {
+                    *counts.entry(value[from..i].to_vec()).or_insert(0) += 1;
+                }
+                word_starts.push(from);
+                // Bigram: previous word through the end of this one.
+                if let Some(&prev) = word_starts.len().checked_sub(2).map(|k| &word_starts[k]) {
+                    if i - prev <= 28 {
+                        *counts.entry(value[prev..i].to_vec()).or_insert(0) += 1;
+                    }
+                }
+            }
+            start = i + 1;
+        }
+        i += 1;
+    }
+    // 2-grams and 3-grams everywhere.
+    for w in [2usize, 3] {
+        for win in value.windows(w) {
+            *counts.entry(win.to_vec()).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_model() -> Alm {
+        // Tokens inspired by the paper's Fig. 2 plus the singles needed.
+        let toks: Vec<Vec<u8>> = ["the", "there", "ir", "se", "t", "h", "e", "i", "r", "s"]
+            .iter()
+            .map(|s| s.as_bytes().to_vec())
+            .collect();
+        Alm::from_tokens(toks)
+    }
+
+    #[test]
+    fn fig2_example_order() {
+        let alm = fig2_model();
+        let their = alm.compress(b"their").unwrap();
+        let there = alm.compress(b"there").unwrap();
+        let these = alm.compress(b"these").unwrap();
+        assert!(their < there, "{their:?} vs {there:?}");
+        assert!(there < these, "{there:?} vs {these:?}");
+        assert_eq!(alm.decompress(&their), b"their");
+        assert_eq!(alm.decompress(&there), b"there");
+        assert_eq!(alm.decompress(&these), b"these");
+    }
+
+    #[test]
+    fn fig2_multi_interval_token() {
+        let alm = fig2_model();
+        // "the" must own more than one interval (split around "there").
+        let the_idx = alm.tokens.iter().position(|t| t == b"the").unwrap();
+        assert_eq!(alm.gap_codes[the_idx].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_trained() {
+        let corpus: Vec<&[u8]> = vec![
+            b"the quick brown fox",
+            b"the quick red fox",
+            b"their lazy dog sleeps",
+            b"there goes the neighborhood",
+        ];
+        let alm = Alm::train(corpus.clone());
+        for v in corpus {
+            let c = alm.compress(v).unwrap();
+            assert_eq!(alm.decompress(&c), v);
+        }
+    }
+
+    #[test]
+    fn unknown_byte_rejected() {
+        let alm = Alm::train([&b"abc"[..]]);
+        assert!(alm.compress(b"abz").is_none());
+        assert!(alm.compress(b"abc").is_some());
+    }
+
+    #[test]
+    fn empty_string() {
+        let alm = Alm::train([&b"ab"[..]]);
+        let c = alm.compress(b"").unwrap();
+        assert!(c.is_empty());
+        assert_eq!(alm.decompress(&c), b"");
+    }
+
+    #[test]
+    fn order_preserved_exhaustively() {
+        // All strings of length <= 3 over a tiny alphabet, with a dictionary
+        // engineered to have nested tokens.
+        let toks: Vec<Vec<u8>> =
+            ["a", "b", "c", "ab", "abc", "ba", "bc", "ca"].iter().map(|s| s.as_bytes().to_vec()).collect();
+        let alm = Alm::from_tokens(toks);
+        let alphabet = [b'a', b'b', b'c'];
+        let mut strings: Vec<Vec<u8>> = vec![vec![]];
+        for _ in 0..3 {
+            let mut next = strings.clone();
+            for s in &strings {
+                for &c in &alphabet {
+                    let mut t = s.clone();
+                    t.push(c);
+                    next.push(t);
+                }
+            }
+            strings = next;
+        }
+        strings.sort();
+        strings.dedup();
+        let comp: Vec<Vec<u8>> = strings.iter().map(|s| alm.compress(s).unwrap()).collect();
+        for i in 1..strings.len() {
+            assert!(
+                comp[i - 1] < comp[i],
+                "order violated: {:?} -> {:?}, {:?} -> {:?}",
+                strings[i - 1],
+                comp[i - 1],
+                strings[i],
+                comp[i]
+            );
+        }
+        // Round-trips too.
+        for (s, c) in strings.iter().zip(&comp) {
+            assert_eq!(&alm.decompress(c), s);
+        }
+    }
+
+    #[test]
+    fn compresses_prose() {
+        let text: Vec<String> = (0..200)
+            .map(|i| format!("the quick brown fox number {} jumps over the lazy dog", i % 10))
+            .collect();
+        let alm = Alm::train(text.iter().map(|s| s.as_bytes()));
+        let total_in: usize = text.iter().map(|s| s.len()).sum();
+        let total_out: usize =
+            text.iter().map(|s| alm.compress(s.as_bytes()).unwrap().len()).sum();
+        assert!(
+            total_out * 2 < total_in,
+            "ALM should compress prose >2x: {total_out} vs {total_in}"
+        );
+    }
+
+    #[test]
+    fn two_byte_width_when_dictionary_large() {
+        // 300+ distinct tokens force 2-byte codes.
+        let mut toks: Vec<Vec<u8>> = (0u16..=255).map(|b| vec![b as u8]).collect();
+        for a in b'a'..=b'z' {
+            for b in b'a'..=b'e' {
+                toks.push(vec![a, b]);
+            }
+        }
+        let alm = Alm::from_tokens(toks);
+        assert_eq!(alm.code_width(), 2);
+        let c = alm.compress(b"hello world").unwrap();
+        assert_eq!(alm.decompress(&c), b"hello world");
+        // Order still holds across the width.
+        let x = alm.compress(b"aa").unwrap();
+        let y = alm.compress(b"ab").unwrap();
+        let z = alm.compress(b"b").unwrap();
+        assert!(x < y && y < z);
+    }
+}

@@ -1,0 +1,221 @@
+//! Bit-level I/O used by the entropy coders.
+//!
+//! Bits are written MSB-first so that the bitwise lexicographic order of the
+//! emitted stream matches the order of codeword sequences — a property the
+//! order-preserving Hu-Tucker codec relies on.
+
+/// Append-only bit sink backed by a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the last byte (0 means the last byte is full
+    /// or the buffer is empty).
+    partial: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.partial == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.partial as usize
+        }
+    }
+
+    /// Write a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.partial == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("just ensured non-empty");
+            *last |= 1 << (7 - self.partial);
+        }
+        self.partial = (self.partial + 1) % 8;
+    }
+
+    /// Write the lowest `len` bits of `code`, MSB of that slice first.
+    pub fn push_bits(&mut self, code: u64, len: u8) {
+        debug_assert!(len <= 64);
+        for i in (0..len).rev() {
+            self.push_bit((code >> i) & 1 == 1);
+        }
+    }
+
+    /// Finish writing, returning the packed bytes and total bit count.
+    /// Unused trailing bits in the last byte are zero.
+    pub fn finish(self) -> (Vec<u8>, usize) {
+        let bits = self.bit_len();
+        (self.buf, bits)
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    limit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read up to `bit_len` bits from `buf`.
+    pub fn new(buf: &'a [u8], bit_len: usize) -> Self {
+        debug_assert!(bit_len <= buf.len() * 8);
+        BitReader { buf, pos: 0, limit: bit_len }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.limit - self.pos
+    }
+
+    /// Read one bit; `None` when exhausted.
+    pub fn next_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.limit {
+            return None;
+        }
+        let byte = self.buf[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `len` bits into the low bits of a u64. `None` if not enough.
+    pub fn next_bits(&mut self, len: u8) -> Option<u64> {
+        if self.remaining() < len as usize {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..len {
+            out = (out << 1) | self.next_bit()? as u64;
+        }
+        Some(out)
+    }
+}
+
+/// Compare two bit streams lexicographically, treating an exhausted stream
+/// as smaller than any continuation (so a code sequence that is a strict
+/// prefix of another orders before it, as its source string does under
+/// alphabetical codes).
+pub fn cmp_bits(a: &[u8], a_bits: usize, b: &[u8], b_bits: usize) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let common_bytes = (a_bits.min(b_bits)) / 8;
+    // Fast path: whole-byte comparison over the shared full bytes.
+    match a[..common_bytes].cmp(&b[..common_bytes]) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    let mut ra = BitReader::new(a, a_bits);
+    let mut rb = BitReader::new(b, b_bits);
+    ra.pos = common_bytes * 8;
+    rb.pos = common_bytes * 8;
+    loop {
+        match (ra.next_bit(), rb.next_bit()) {
+            (Some(x), Some(y)) if x == y => continue,
+            (Some(x), Some(_)) => return if x { Ordering::Greater } else { Ordering::Less },
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (None, None) => return Ordering::Equal,
+        }
+    }
+}
+
+/// Write a `usize` as a LEB128-style varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: usize) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a varint written by [`write_varint`]; returns (value, bytes read).
+pub fn read_varint(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut v = 0usize;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        v |= ((b & 0x7f) as usize) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011, 4);
+        w.push_bits(0b0, 1);
+        w.push_bits(0xABCD, 16);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 21);
+        let mut r = BitReader::new(&bytes, bits);
+        assert_eq!(r.next_bits(4), Some(0b1011));
+        assert_eq!(r.next_bits(1), Some(0));
+        assert_eq!(r.next_bits(16), Some(0xABCD));
+        assert_eq!(r.next_bit(), None);
+    }
+
+    #[test]
+    fn bit_len_accounting() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        for i in 0..17 {
+            w.push_bit(i % 2 == 0);
+            assert_eq!(w.bit_len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn cmp_bit_streams() {
+        // 101 vs 1011: prefix orders first.
+        let a = [0b1010_0000];
+        let b = [0b1011_0000];
+        assert_eq!(cmp_bits(&a, 3, &b, 4), Ordering::Less);
+        assert_eq!(cmp_bits(&b, 4, &a, 3), Ordering::Greater);
+        assert_eq!(cmp_bits(&a, 3, &b, 3), Ordering::Equal);
+        // 100 vs 11
+        let c = [0b1000_0000];
+        let d = [0b1100_0000];
+        assert_eq!(cmp_bits(&c, 3, &d, 2), Ordering::Less);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0usize, 1, 127, 128, 300, 65_535, 1 << 20, usize::MAX / 2] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (got, used) = read_varint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1 << 20);
+        assert!(read_varint(&buf[..1]).is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! `blz`: a self-contained bzip2-family block compressor
+//! (BWT → move-to-front → zero-run-length → Huffman).
+//!
+//! This is the "generic compression algorithm offering good compression
+//! ratios, e.g. bzip2" that §3.3 of the paper assigns to containers not
+//! touched by the workload, and the back-end our XMill baseline compresses
+//! whole containers with. It is *not* individually-accessible: a block must
+//! be fully decompressed before any value inside it can be read — exactly
+//! the property that distinguishes XMill-style from XQueC-style storage.
+
+use crate::bitio::{read_varint, write_varint};
+use crate::bwt::{bwt, ibwt};
+use crate::huffman::Huffman;
+
+/// Maximum bytes per BWT block.
+pub const BLOCK_SIZE: usize = 256 * 1024;
+
+/// Compress a buffer. Output is self-contained (models embedded per block).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 3 + 64);
+    write_varint(&mut out, data.len());
+    for block in data.chunks(BLOCK_SIZE) {
+        compress_block(block, &mut out);
+    }
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Vec<u8> {
+    let (total, mut pos) = read_varint(data).expect("corrupt blz header");
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        pos = decompress_block(data, pos, &mut out);
+    }
+    assert_eq!(out.len(), total, "blz length mismatch");
+    out
+}
+
+fn compress_block(block: &[u8], out: &mut Vec<u8>) {
+    let (l, primary) = bwt(block);
+    let mtf = mtf_encode(&l);
+    let rle = rle0_encode(&mtf);
+
+    // Train a per-block Huffman model and serialize its length table.
+    let mut freq = [1u64; 256];
+    for &b in &rle {
+        freq[b as usize] += 1;
+    }
+    let huff = Huffman::from_frequencies(&freq);
+
+    write_varint(out, block.len());
+    write_varint(out, primary);
+    write_varint(out, rle.len());
+    out.extend_from_slice(&huff.lengths());
+    let payload = huff.compress(&rle);
+    write_varint(out, payload.len());
+    out.extend_from_slice(&payload);
+}
+
+fn decompress_block(data: &[u8], mut pos: usize, out: &mut Vec<u8>) -> usize {
+    let (block_len, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    pos += used;
+    let (primary, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    pos += used;
+    let (rle_len, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    pos += used;
+    let mut lengths = [0u8; 256];
+    lengths.copy_from_slice(&data[pos..pos + 256]);
+    pos += 256;
+    let huff = Huffman::from_lengths(&lengths);
+    let (payload_len, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    pos += used;
+    let rle = huff.decompress(&data[pos..pos + payload_len]);
+    pos += payload_len;
+    assert_eq!(rle.len(), rle_len, "blz rle length mismatch");
+
+    let mtf = rle0_decode(&rle);
+    let l = mtf_decode(&mtf);
+    let block = ibwt(&l, primary);
+    assert_eq!(block.len(), block_len, "blz block length mismatch");
+    out.extend_from_slice(&block);
+    pos
+}
+
+/// Move-to-front transform: BWT's symbol clustering becomes small values.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(data.len());
+    for &b in data {
+        let idx = table.iter().position(|&x| x == b).expect("byte in table") as u8;
+        out.push(idx);
+        table.copy_within(0..idx as usize, 1);
+        table[0] = b;
+    }
+    out
+}
+
+/// Inverse of [`mtf_encode`].
+pub fn mtf_decode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    let mut out = Vec::with_capacity(data.len());
+    for &idx in data {
+        let b = table[idx as usize];
+        out.push(b);
+        table.copy_within(0..idx as usize, 1);
+        table[0] = b;
+    }
+    out
+}
+
+/// Zero-run-length encoding: MTF output is dominated by zeros, so every run
+/// of zeros (length >= 1) is written as a `0x00` escape followed by the run
+/// length as a varint. Non-zero bytes pass through literally.
+pub fn rle0_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0usize;
+    while i < data.len() {
+        if data[i] == 0 {
+            let mut run = 0usize;
+            while i < data.len() && data[i] == 0 {
+                run += 1;
+                i += 1;
+            }
+            out.push(0);
+            write_varint(&mut out, run);
+        } else {
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`rle0_encode`].
+pub fn rle0_decode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        if data[i] == 0 {
+            let (run, used) = read_varint(&data[i + 1..]).expect("corrupt rle0 run");
+            out.resize(out.len() + run, 0);
+            i += 1 + used;
+        } else {
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtf_roundtrip() {
+        let data = b"abcabcabc\x00\xff\xfezzz";
+        assert_eq!(mtf_decode(&mtf_encode(data)), data);
+    }
+
+    #[test]
+    fn mtf_clusters_become_small() {
+        let data = b"aaaaabbbbbaaaaa";
+        let enc = mtf_encode(data);
+        // After the first occurrence, repeats are zeros.
+        assert_eq!(&enc[1..5], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rle0_roundtrip() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0, 0, 0, 0, 0],
+            vec![1, 2, 3],
+            vec![0, 1, 0, 0, 2, 0, 0, 0],
+            vec![0; 1000],
+        ];
+        for c in cases {
+            assert_eq!(rle0_decode(&rle0_encode(&c)), c);
+        }
+    }
+
+    #[test]
+    fn blz_roundtrip_text() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(500);
+        let c = compress(text.as_bytes());
+        assert_eq!(decompress(&c), text.as_bytes());
+        assert!(c.len() < text.len() / 4, "blz on repetitive text: {} vs {}", c.len(), text.len());
+    }
+
+    #[test]
+    fn blz_roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"x", b"ab"] {
+            assert_eq!(decompress(&compress(data)), data);
+        }
+    }
+
+    #[test]
+    fn blz_multi_block() {
+        let data: Vec<u8> = (0..BLOCK_SIZE * 2 + 77).map(|i| (i % 251) as u8).collect();
+        assert_eq!(decompress(&compress(&data)), data);
+    }
+
+    #[test]
+    fn blz_beats_huffman_on_structured_text() {
+        // BWT pipeline should beat order-0 Huffman on structured input.
+        let text = "person0 person1 person2 person3 person4 ".repeat(300);
+        let blz_size = compress(text.as_bytes()).len();
+        let h = Huffman::train([text.as_bytes()]);
+        let h_size = h.compress(text.as_bytes()).len();
+        assert!(blz_size < h_size, "blz {blz_size} vs huffman {h_size}");
+    }
+}

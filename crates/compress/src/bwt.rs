@@ -1,0 +1,163 @@
+//! Burrows-Wheeler transform via a prefix-doubling suffix array.
+//!
+//! Substrate for [`crate::blz`], the bzip2-family block compressor the paper
+//! uses as its generic fallback codec (§3.3) and that our XMill baseline
+//! uses as its container back-end.
+
+/// Suffix array of `data` (standard order: a suffix that is a proper prefix
+/// of another sorts first). O(n log^2 n) prefix doubling.
+pub fn suffix_array(data: &[u8]) -> Vec<u32> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<i64> = data.iter().map(|&b| b as i64).collect();
+    let mut tmp: Vec<i64> = vec![0; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: usize, rank: &[i64]| -> (i64, i64) {
+            (rank[i], if i + k < n { rank[i + k] } else { -1 })
+        };
+        sa.sort_unstable_by(|&a, &b| key(a as usize, &rank).cmp(&key(b as usize, &rank)));
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = key(sa[w - 1] as usize, &rank);
+            let cur = key(sa[w] as usize, &rank);
+            tmp[sa[w] as usize] = tmp[sa[w - 1] as usize] + i64::from(cur != prev);
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] == (n - 1) as i64 || k >= n {
+            break;
+        }
+        k <<= 1;
+    }
+    sa
+}
+
+/// Forward BWT with an implicit end-of-block sentinel.
+///
+/// Returns the last column with the sentinel *omitted* plus the row index
+/// (`primary`) where the sentinel sat, which [`ibwt`] needs.
+pub fn bwt(data: &[u8]) -> (Vec<u8>, usize) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let sa = suffix_array(data);
+    let mut out = Vec::with_capacity(n);
+    // Row 0 is the rotation starting at the sentinel; its last column entry
+    // is the final character of the data.
+    out.push(data[n - 1]);
+    let mut primary = 0usize;
+    for (key, &s) in sa.iter().enumerate() {
+        if s == 0 {
+            primary = key + 1;
+        } else {
+            out.push(data[s as usize - 1]);
+        }
+    }
+    (out, primary)
+}
+
+/// Inverse BWT for the representation produced by [`bwt`].
+pub fn ibwt(l: &[u8], primary: usize) -> Vec<u8> {
+    let n = l.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let rows = n + 1;
+    debug_assert!(primary >= 1 && primary < rows, "primary {primary} out of range {rows}");
+    // Symbol of row r in the last column; sentinel treated as smallest.
+    let sym = |r: usize| -> usize {
+        if r == primary {
+            0
+        } else {
+            l[r - usize::from(r > primary)] as usize + 1
+        }
+    };
+    // C[s] = number of rows whose last-column symbol is < s.
+    let mut counts = [0usize; 257];
+    for r in 0..rows {
+        counts[sym(r)] += 1;
+    }
+    let mut c = [0usize; 258];
+    for s in 0..257 {
+        c[s + 1] = c[s] + counts[s];
+    }
+    // LF mapping.
+    let mut occ = [0usize; 257];
+    let mut lf = vec![0u32; rows];
+    for (r, lf_slot) in lf.iter_mut().enumerate() {
+        let s = sym(r);
+        *lf_slot = (c[s] + occ[s]) as u32;
+        occ[s] += 1;
+    }
+    // Walk backwards from row 0 (whose last-column char is the final byte).
+    let mut out = vec![0u8; n];
+    let mut r = 0usize;
+    for slot in out.iter_mut().rev() {
+        debug_assert_ne!(r, primary, "hit sentinel row mid-walk");
+        *slot = l[r - usize::from(r > primary)];
+        r = lf[r] as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_array_banana() {
+        let sa = suffix_array(b"banana");
+        // suffixes sorted: a(5) ana(3) anana(1) banana(0) na(4) nana(2)
+        assert_eq!(sa, vec![5, 3, 1, 0, 4, 2]);
+    }
+
+    #[test]
+    fn bwt_roundtrip_simple() {
+        for s in ["banana", "", "a", "abracadabra", "mississippi", "zzzzzz"] {
+            let (l, p) = bwt(s.as_bytes());
+            assert_eq!(ibwt(&l, p), s.as_bytes(), "for {s:?}");
+        }
+    }
+
+    #[test]
+    fn bwt_roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        let (l, p) = bwt(&data);
+        assert_eq!(ibwt(&l, p), data);
+    }
+
+    #[test]
+    fn bwt_roundtrip_random() {
+        // Deterministic xorshift so the test needs no rand dependency here.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let (l, p) = bwt(&data);
+        assert_eq!(ibwt(&l, p), data);
+    }
+
+    #[test]
+    fn bwt_groups_symbols() {
+        // BWT of repetitive text has long runs, the property MTF+RLE exploit.
+        let text = "the cat sat on the mat the cat sat on the mat ".repeat(20);
+        let (l, _) = bwt(text.as_bytes());
+        let mut runs = 0usize;
+        for w in l.windows(2) {
+            if w[0] == w[1] {
+                runs += 1;
+            }
+        }
+        // More than a third of adjacent pairs are equal in BWT output.
+        assert!(runs * 3 > l.len(), "runs={} len={}", runs, l.len());
+    }
+}

@@ -1,0 +1,303 @@
+//! Classical Huffman coding over bytes (Huffman 1952), as XQueC's
+//! order-agnostic value codec.
+//!
+//! Codes are *canonical*, so encoding is deterministic: two equal strings
+//! compressed with the same source model yield identical bytes, which is what
+//! enables equality predicates in the compressed domain. Because the code is
+//! prefix-free and values are encoded left-to-right, a compressed prefix is a
+//! bit-prefix of the compressed value — enabling prefix-match ("wildcard")
+//! predicates too. Inequality comparisons are *not* order-preserving (that is
+//! ALM's job, see [`crate::alm`]).
+
+use crate::bitio::{read_varint, write_varint, BitReader, BitWriter};
+
+/// Number of byte symbols.
+const SYMBOLS: usize = 256;
+
+/// A trained Huffman source model plus its canonical code tables.
+#[derive(Debug, Clone)]
+pub struct Huffman {
+    /// Codeword for each byte symbol: (code bits right-aligned, length).
+    codes: Vec<(u64, u8)>,
+    /// Flat decode tree: nodes of (left, right); leaves encoded as
+    /// `!symbol` in the high bit range.
+    tree: Vec<(u32, u32)>,
+    root: u32,
+}
+
+const LEAF_FLAG: u32 = 1 << 31;
+
+impl Huffman {
+    /// Train a model on a corpus of values.
+    ///
+    /// Every byte symbol receives an add-one smoothing count so that *any*
+    /// string (e.g. a query constant never seen at load time) remains
+    /// encodable with this model.
+    pub fn train<'a, I: IntoIterator<Item = &'a [u8]>>(corpus: I) -> Self {
+        let mut freq = [1u64; SYMBOLS];
+        for value in corpus {
+            for &b in value {
+                freq[b as usize] += 1;
+            }
+        }
+        Self::from_frequencies(&freq)
+    }
+
+    /// Build from explicit symbol frequencies (all must be non-zero).
+    pub fn from_frequencies(freq: &[u64; SYMBOLS]) -> Self {
+        let lengths = code_lengths(freq);
+        Self::from_lengths(&lengths)
+    }
+
+    /// Reconstruct a canonical code from per-symbol code lengths — the form
+    /// in which a model is serialized (e.g. in `blz` block headers).
+    pub fn from_lengths(lengths: &[u8; SYMBOLS]) -> Self {
+        let codes = canonical_codes(lengths);
+        let (tree, root) = build_decode_tree(&codes);
+        Huffman { codes, tree, root }
+    }
+
+    /// Per-symbol code lengths (the serializable model).
+    pub fn lengths(&self) -> [u8; SYMBOLS] {
+        let mut out = [0u8; SYMBOLS];
+        for (s, slot) in out.iter_mut().enumerate() {
+            *slot = self.codes[s].1;
+        }
+        out
+    }
+
+    /// Size in bytes of the serialized source model (one length byte per
+    /// symbol — what a canonical code needs to be reconstructed).
+    pub fn model_size(&self) -> usize {
+        SYMBOLS
+    }
+
+    /// Compress a value. Output layout: varint bit-count, then packed bits.
+    pub fn compress(&self, value: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for &b in value {
+            let (code, len) = self.codes[b as usize];
+            w.push_bits(code, len);
+        }
+        let (bits, bit_len) = w.finish();
+        let mut out = Vec::with_capacity(bits.len() + 2);
+        write_varint(&mut out, bit_len);
+        out.extend_from_slice(&bits);
+        out
+    }
+
+    /// Decompress a value produced by [`Huffman::compress`].
+    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
+        let (bit_len, used) = read_varint(data).expect("corrupt huffman header");
+        let mut r = BitReader::new(&data[used..], bit_len);
+        let mut out = Vec::with_capacity(bit_len / 4);
+        while r.remaining() > 0 {
+            let mut node = self.root;
+            while node & LEAF_FLAG == 0 {
+                let (l, rgt) = self.tree[node as usize];
+                node = if r.next_bit().expect("truncated huffman stream") { rgt } else { l };
+            }
+            out.push((node & 0xff) as u8);
+        }
+        out
+    }
+
+    /// The raw codeword bits for `value` without the varint header, for
+    /// prefix matching.
+    fn raw_bits(&self, value: &[u8]) -> (Vec<u8>, usize) {
+        let mut w = BitWriter::new();
+        for &b in value {
+            let (code, len) = self.codes[b as usize];
+            w.push_bits(code, len);
+        }
+        w.finish()
+    }
+
+    /// Does the compressed `data` (as produced by [`Huffman::compress`])
+    /// represent a string starting with `prefix`? Evaluated entirely in the
+    /// compressed domain.
+    pub fn prefix_match(&self, data: &[u8], prefix: &[u8]) -> bool {
+        let (pbits, plen) = self.raw_bits(prefix);
+        let (bit_len, used) = match read_varint(data) {
+            Some(x) => x,
+            None => return false,
+        };
+        if bit_len < plen {
+            return false;
+        }
+        let body = &data[used..];
+        // Compare full bytes then the tail bits.
+        let full = plen / 8;
+        if body[..full] != pbits[..full] {
+            return false;
+        }
+        let rem = plen % 8;
+        if rem == 0 {
+            return true;
+        }
+        let mask = 0xffu8 << (8 - rem);
+        (body[full] & mask) == (pbits[full] & mask)
+    }
+
+    /// Expected bits per input byte under this model for the given
+    /// frequencies — used by the cost model to estimate storage cost.
+    pub fn expected_bits_per_byte(&self, freq: &[u64; SYMBOLS]) -> f64 {
+        let total: u64 = freq.iter().sum();
+        if total == 0 {
+            return 8.0;
+        }
+        let mut bits = 0.0f64;
+        for s in 0..SYMBOLS {
+            bits += freq[s] as f64 * self.codes[s].1 as f64;
+        }
+        bits / total as f64
+    }
+}
+
+/// Compute Huffman code lengths from frequencies via the standard two-queue
+/// tree construction.
+fn code_lengths(freq: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
+    // Nodes: 0..256 are leaves, internal nodes are appended after.
+    let mut parent = vec![usize::MAX; SYMBOLS];
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        (0..SYMBOLS).map(|s| std::cmp::Reverse((freq[s], s))).collect();
+    let mut next = SYMBOLS;
+    while heap.len() > 1 {
+        let std::cmp::Reverse((w1, n1)) = heap.pop().expect("len>1");
+        let std::cmp::Reverse((w2, n2)) = heap.pop().expect("len>1");
+        parent.push(usize::MAX);
+        parent[n1] = next;
+        parent[n2] = next;
+        heap.push(std::cmp::Reverse((w1 + w2, next)));
+        next += 1;
+    }
+    let mut lengths = [0u8; SYMBOLS];
+    for s in 0..SYMBOLS {
+        let mut depth = 0u8;
+        let mut n = s;
+        while parent[n] != usize::MAX {
+            n = parent[n];
+            depth += 1;
+        }
+        lengths[s] = depth.max(1);
+    }
+    lengths
+}
+
+/// Assign canonical codes given per-symbol lengths: symbols sorted by
+/// (length, symbol) receive consecutive code values.
+fn canonical_codes(lengths: &[u8; SYMBOLS]) -> Vec<(u64, u8)> {
+    let mut order: Vec<usize> = (0..SYMBOLS).collect();
+    order.sort_by_key(|&s| (lengths[s], s));
+    let mut codes = vec![(0u64, 0u8); SYMBOLS];
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &s in &order {
+        let len = lengths[s];
+        code <<= len - prev_len;
+        codes[s] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+fn build_decode_tree(codes: &[(u64, u8)]) -> (Vec<(u32, u32)>, u32) {
+    let mut tree: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX)];
+    let root = 0u32;
+    for (sym, &(code, len)) in codes.iter().enumerate() {
+        let mut node = root as usize;
+        for i in (0..len).rev() {
+            let bit = (code >> i) & 1 == 1;
+            if i == 0 {
+                let slot = if bit { &mut tree[node].1 } else { &mut tree[node].0 };
+                *slot = LEAF_FLAG | sym as u32;
+            } else {
+                let cur = if bit { tree[node].1 } else { tree[node].0 };
+                let next = if cur == u32::MAX {
+                    let nx = tree.len() as u32;
+                    tree.push((u32::MAX, u32::MAX));
+                    let slot = if bit { &mut tree[node].1 } else { &mut tree[node].0 };
+                    *slot = nx;
+                    nx
+                } else {
+                    cur
+                };
+                node = next as usize;
+            }
+        }
+    }
+    (tree, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> Huffman {
+        let corpus: Vec<&[u8]> =
+            vec![b"the quick brown fox", b"the lazy dog", b"there and back again"];
+        Huffman::train(corpus)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample_model();
+        for s in ["", "the", "completely unseen string! 123", "\u{00e9}\u{00e9}"] {
+            let c = h.compress(s.as_bytes());
+            assert_eq!(h.decompress(&c), s.as_bytes());
+        }
+    }
+
+    #[test]
+    fn equality_in_compressed_domain() {
+        let h = sample_model();
+        assert_eq!(h.compress(b"the dog"), h.compress(b"the dog"));
+        assert_ne!(h.compress(b"the dog"), h.compress(b"the fox"));
+    }
+
+    #[test]
+    fn compresses_skewed_text() {
+        let text = "the the the the quick quick brown fox and the lazy dog ".repeat(50);
+        let h = Huffman::train([text.as_bytes()]);
+        let c = h.compress(text.as_bytes());
+        assert!(
+            c.len() < text.len() * 7 / 10,
+            "expected <70% of {}, got {}",
+            text.len(),
+            c.len()
+        );
+    }
+
+    #[test]
+    fn prefix_match_compressed() {
+        let h = sample_model();
+        let c = h.compress(b"the quick brown fox");
+        assert!(h.prefix_match(&c, b"the q"));
+        assert!(h.prefix_match(&c, b""));
+        assert!(h.prefix_match(&c, b"the quick brown fox"));
+        assert!(!h.prefix_match(&c, b"the z"));
+        assert!(!h.prefix_match(&c, b"the quick brown fox!"));
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let h = sample_model();
+        for a in 0..SYMBOLS {
+            for b in (a + 1)..SYMBOLS {
+                let (ca, la) = h.codes[a];
+                let (cb, lb) = h.codes[b];
+                let (short, slen, long, llen) =
+                    if la <= lb { (ca, la, cb, lb) } else { (cb, lb, ca, la) };
+                assert_ne!(long >> (llen - slen), short, "symbol {a} prefixes {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_symbol_corpus() {
+        let h = Huffman::train([&b"aaaaaaaa"[..]]);
+        let c = h.compress(b"aaaa");
+        assert_eq!(h.decompress(&c), b"aaaa");
+    }
+}

@@ -1,0 +1,34 @@
+//! # xquec-compress
+//!
+//! The compression-algorithm pool of the XQueC reproduction (§2.1, §3.2):
+//!
+//! * [`huffman`] — classical Huffman coding (order-agnostic; equality and
+//!   prefix-wildcard predicates in the compressed domain);
+//! * [`alm`] — ALM order-preserving dictionary compression (equality and
+//!   inequality in the compressed domain; the paper's headline codec);
+//! * [`hutucker`] — Hu-Tucker optimal alphabetical codes (the bit-level
+//!   order-preserving alternative ALM is compared against);
+//! * [`arith`] — static arithmetic coding (the third §2.1 candidate);
+//! * [`numeric`] — order-preserving variable-length numeric encoding;
+//! * [`blz`] — a bzip2-family block compressor (BWT + MTF + RLE0 + Huffman)
+//!   for containers outside the workload and for the XMill baseline;
+//! * [`codec`] — the unified [`codec::ValueCodec`] interface carrying the
+//!   paper's `<d_c, c_s, c_a, eq, ineq, wild>` algorithm descriptors;
+//! * [`bitio`], [`bwt`] — shared low-level machinery.
+
+pub mod alm;
+pub mod arith;
+pub mod bitio;
+pub mod blz;
+pub mod bwt;
+pub mod codec;
+pub mod huffman;
+pub mod hutucker;
+pub mod numeric;
+
+pub use alm::{Alm, AlmConfig};
+pub use arith::Arith;
+pub use codec::{AlgoProperties, CodecKind, ValueCodec};
+pub use huffman::Huffman;
+pub use hutucker::HuTucker;
+pub use numeric::NumericCodec;

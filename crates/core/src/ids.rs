@@ -1,0 +1,40 @@
+//! Typed identifiers used across the repository.
+
+use std::fmt;
+
+/// Identifier of an element/attribute node in the structure tree (§2.2:
+/// "we assign to each non-value XML node an unique integer ID").
+/// Ids are assigned in document (pre-) order, which is what lets the
+/// order-preserving operators of §4 avoid sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(pub u32);
+
+/// Compact code for an element/attribute name from the name dictionary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagCode(pub u16);
+
+/// Identifier of a value container (one per `<type, path>` pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub u32);
+
+/// Identifier of a node in the structure summary (a distinct rooted path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}

@@ -1,0 +1,36 @@
+//! # xquec-core
+//!
+//! The XQueC system (Arion et al., EDBT 2004): an XQuery processor and
+//! compressor evaluating queries directly over compressed XML.
+//!
+//! * [`loader`] — shreds + compresses documents into a [`repo::Repository`];
+//! * [`dictionary`], [`structure`], [`summary`], [`container`] — the §2.2
+//!   storage structures;
+//! * [`stats`], [`workload`], [`cost`], [`partition`] — the §3 workload-aware
+//!   compression-configuration machinery;
+//! * [`query`] — the §4 query processor (parser, planner, physical
+//!   operators, executor) evaluating an XQuery subset in the compressed
+//!   domain with lazy decompression;
+//! * [`queries`] — the XMark query catalog used by the §5 evaluation.
+
+pub mod container;
+pub mod cost;
+pub mod dictionary;
+pub mod ids;
+pub mod loader;
+pub mod partition;
+pub mod persist;
+pub mod queries;
+pub mod query;
+pub mod repo;
+pub mod stats;
+pub mod structure;
+pub mod summary;
+pub mod workload;
+
+pub use container::{Container, ContainerLeaf, ValueType};
+pub use ids::{ContainerId, ElemId, PathId, TagCode};
+pub use loader::{load, load_with, LoadError, LoaderOptions, WorkloadSpec};
+pub use query::{Engine, ExecStats, QueryError};
+pub use repo::{Repository, SizeReport};
+pub use workload::{PredOp, Workload};

@@ -1,0 +1,492 @@
+//! Durable storage of a compressed repository.
+//!
+//! The paper runs on Berkeley DB (§5); our stand-in is `xquec-storage`. The
+//! on-disk layout mirrors §2.2: node records live under a B+tree keyed by
+//! element id ("we construct and store a B+ search tree on top of the
+//! sequence of node records"), the dictionary / summary / containers live in
+//! record heaps, and source models are stored once per partition set and
+//! shared by reference.
+
+use crate::container::{Container, ContainerLeaf, ValueType};
+use crate::dictionary::NameDictionary;
+use crate::ids::{ContainerId, ElemId, PathId, TagCode};
+use crate::repo::Repository;
+use crate::stats::ContainerStats;
+use crate::structure::{StructureTree, ValueRef};
+use crate::summary::{PathKind, StructureSummary};
+use std::path::Path;
+use std::sync::Arc;
+use xquec_compress::bitio::{read_varint, write_varint};
+use xquec_compress::ValueCodec;
+use xquec_storage::{BTree, BufferPool, FilePager, Heap, PageId, StorageError};
+
+const MAGIC: &[u8; 8] = b"XQUEC01\0";
+/// Container records per heap chunk.
+const CHUNK: usize = 512;
+
+/// Errors from saving/loading a repository.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Structural corruption in the file.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Storage(e) => write!(f, "persist: {e}"),
+            PersistError::Corrupt(m) => write!(f, "persist: corrupt repository file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+fn corrupt<T>(msg: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError::Corrupt(msg.into()))
+}
+
+/// Save a repository to a single file.
+pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let _ = std::fs::remove_file(path.as_ref());
+    let pager = Arc::new(FilePager::open(path.as_ref())?);
+    let pool = Arc::new(BufferPool::new(pager, 256));
+
+    // Page 0 is the catalog, filled in at the end.
+    let catalog = pool.allocate()?;
+    debug_assert_eq!(catalog, PageId(0));
+
+    // Dictionary.
+    let mut dict_heap = Heap::create(pool.clone())?;
+    for (_, name) in repo.dict.iter() {
+        dict_heap.append(name.as_bytes())?;
+    }
+
+    // Node records under a B+tree keyed by big-endian element id.
+    let mut nodes = BTree::create(pool.clone())?;
+    let mut buf = Vec::new();
+    for i in 0..repo.tree.len() as u32 {
+        let n = repo.tree.node(ElemId(i));
+        buf.clear();
+        buf.extend_from_slice(&n.tag.0.to_le_bytes());
+        buf.extend_from_slice(&n.parent.map_or(u32::MAX, |p| p.0).to_le_bytes());
+        buf.extend_from_slice(&n.path.0.to_le_bytes());
+        write_varint(&mut buf, n.values.len());
+        for v in &n.values {
+            buf.extend_from_slice(&v.container.0.to_le_bytes());
+            buf.extend_from_slice(&v.index.to_le_bytes());
+        }
+        nodes.insert(&i.to_be_bytes(), &buf)?;
+    }
+
+    // Summary nodes in id order (children recoverable from parents).
+    let mut summary_heap = Heap::create(pool.clone())?;
+    for p in repo.summary.ids() {
+        let node = repo.summary.node(p);
+        buf.clear();
+        let (kind, tag) = match node.kind {
+            PathKind::Root => (0u8, 0u16),
+            PathKind::Element(t) => (1, t.0),
+            PathKind::Attribute(t) => (2, t.0),
+            PathKind::Text => (3, 0),
+        };
+        buf.push(kind);
+        buf.extend_from_slice(&tag.to_le_bytes());
+        buf.extend_from_slice(&node.parent.map_or(u32::MAX, |x| x.0).to_le_bytes());
+        buf.extend_from_slice(&node.container.map_or(u32::MAX, |c| c.0).to_le_bytes());
+        write_varint(&mut buf, node.extent.len());
+        let mut prev = 0u32;
+        for &e in &node.extent {
+            write_varint(&mut buf, (e.0 - prev) as usize);
+            prev = e.0;
+        }
+        summary_heap.append(&buf)?;
+    }
+
+    // Source models, deduplicated by Arc identity.
+    let mut models_heap = Heap::create(pool.clone())?;
+    let mut model_ids: Vec<(*const ValueCodec, usize)> = Vec::new();
+    let mut model_of = |c: &Container, heap: &mut Heap| -> Result<usize, PersistError> {
+        let ptr = Arc::as_ptr(c.codec());
+        if let Some(&(_, id)) = model_ids.iter().find(|(p, _)| *p == ptr) {
+            return Ok(id);
+        }
+        let id = model_ids.len();
+        heap.append(&c.codec().serialize())?;
+        model_ids.push((ptr, id));
+        Ok(id)
+    };
+
+    // Containers.
+    let mut containers_heap = Heap::create(pool.clone())?;
+    for c in &repo.containers {
+        buf.clear();
+        buf.extend_from_slice(&c.path.0.to_le_bytes());
+        match c.leaf {
+            ContainerLeaf::Text => {
+                buf.push(0);
+                buf.extend_from_slice(&0u16.to_le_bytes());
+            }
+            ContainerLeaf::Attribute(t) => {
+                buf.push(1);
+                buf.extend_from_slice(&t.0.to_le_bytes());
+            }
+        }
+        match c.vtype {
+            ValueType::Str => buf.push(0),
+            ValueType::Int => buf.push(1),
+            ValueType::Decimal(s) => {
+                buf.push(2);
+                buf.push(s);
+            }
+        }
+        if c.is_individual() {
+            buf.push(0);
+            let mid = model_of(c, &mut models_heap)?;
+            write_varint(&mut buf, mid);
+        } else {
+            buf.push(1);
+        }
+        write_varint(&mut buf, c.len());
+        containers_heap.append(&buf)?;
+
+        if c.is_individual() {
+            // Chunked records: (parent u32, varint len, compressed bytes)*.
+            let mut chunk = Vec::new();
+            let mut in_chunk = 0usize;
+            for idx in 0..c.len() as u32 {
+                chunk.extend_from_slice(&c.parent_of(idx).0.to_le_bytes());
+                let comp = c.compressed(idx);
+                write_varint(&mut chunk, comp.len());
+                chunk.extend_from_slice(comp);
+                in_chunk += 1;
+                if in_chunk == CHUNK {
+                    containers_heap.append(&chunk)?;
+                    chunk.clear();
+                    in_chunk = 0;
+                }
+            }
+            if in_chunk > 0 {
+                containers_heap.append(&chunk)?;
+            }
+        } else {
+            // Block storage: parents chunk(s) then one blz blob record.
+            let mut chunk = Vec::new();
+            for idx in 0..c.len() as u32 {
+                chunk.extend_from_slice(&c.parent_of(idx).0.to_le_bytes());
+            }
+            containers_heap.append(&chunk)?;
+            let values = c.decompress_all();
+            let mut concat = Vec::new();
+            for v in &values {
+                write_varint(&mut concat, v.len());
+                concat.extend_from_slice(v.as_bytes());
+            }
+            containers_heap.append(&xquec_compress::blz::compress(&concat))?;
+        }
+    }
+
+    // Catalog.
+    pool.with_page_mut(catalog, |p| {
+        p.write_at(0, MAGIC);
+        p.put_u64(8, repo.original_bytes as u64);
+        p.put_u64(16, repo.tree.len() as u64);
+        p.put_u64(24, repo.summary.len() as u64);
+        p.put_u64(32, repo.containers.len() as u64);
+        p.put_u64(40, dict_heap.first_page().0);
+        p.put_u64(48, nodes.root().0);
+        p.put_u64(56, summary_heap.first_page().0);
+        p.put_u64(64, models_heap.first_page().0);
+        p.put_u64(72, containers_heap.first_page().0);
+        p.put_u64(80, repo.dict.len() as u64);
+    })?;
+    pool.flush()?;
+    Ok(())
+}
+
+/// Load a repository saved by [`save`].
+pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
+    let pager = Arc::new(FilePager::open(path.as_ref())?);
+    let pool = Arc::new(BufferPool::new(pager, 256));
+
+    let (original_bytes, n_nodes, n_paths, n_containers, pages, n_names) =
+        pool.with_page(PageId(0), |p| {
+            if p.slice(0, 8) != MAGIC {
+                return None;
+            }
+            Some((
+                p.get_u64(8) as usize,
+                p.get_u64(16) as usize,
+                p.get_u64(24) as usize,
+                p.get_u64(32) as usize,
+                [p.get_u64(40), p.get_u64(48), p.get_u64(56), p.get_u64(64), p.get_u64(72)],
+                p.get_u64(80) as usize,
+            ))
+        })?
+        .map_or_else(|| corrupt("bad magic"), Ok)?;
+
+    // Dictionary.
+    let dict_heap = Heap::open(pool.clone(), PageId(pages[0]))?;
+    let mut dict = NameDictionary::new();
+    for rec in dict_heap.scan() {
+        let (_, data) = rec?;
+        dict.intern(
+            std::str::from_utf8(&data).map_err(|_| PersistError::Corrupt("name utf8".into()))?,
+        );
+    }
+    if dict.len() != n_names {
+        return corrupt(format!("expected {n_names} names, found {}", dict.len()));
+    }
+
+    // Node records (B+tree iteration yields ascending element ids).
+    let nodes_tree = BTree::open(pool.clone(), PageId(pages[1]));
+    let mut tree = StructureTree::new();
+    let mut value_refs: Vec<(ElemId, Vec<ValueRef>)> = Vec::with_capacity(n_nodes);
+    for entry in nodes_tree.iter()? {
+        let (key, data) = entry?;
+        let id = u32::from_be_bytes(
+            key.as_slice().try_into().map_err(|_| PersistError::Corrupt("node key".into()))?,
+        );
+        let tag = TagCode(u16::from_le_bytes([data[0], data[1]]));
+        let parent_raw = u32::from_le_bytes(data[2..6].try_into().expect("fixed"));
+        let parent = (parent_raw != u32::MAX).then_some(ElemId(parent_raw));
+        let path = PathId(u32::from_le_bytes(data[6..10].try_into().expect("fixed")));
+        let got = tree.push(tag, parent, path);
+        if got.0 != id {
+            return corrupt("node ids not dense");
+        }
+        let (nvals, used) =
+            read_varint(&data[10..]).ok_or_else(|| PersistError::Corrupt("node values".into()))?;
+        let mut pos = 10 + used;
+        let mut refs = Vec::with_capacity(nvals);
+        for _ in 0..nvals {
+            let container =
+                ContainerId(u32::from_le_bytes(data[pos..pos + 4].try_into().expect("fixed")));
+            let index = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("fixed"));
+            pos += 8;
+            refs.push(ValueRef { container, index });
+        }
+        value_refs.push((got, refs));
+    }
+    if tree.len() != n_nodes {
+        return corrupt(format!("expected {n_nodes} nodes, found {}", tree.len()));
+    }
+    for (elem, refs) in value_refs {
+        for r in refs {
+            tree.add_value(elem, r);
+        }
+    }
+
+    // Summary.
+    let summary_heap = Heap::open(pool.clone(), PageId(pages[2]))?;
+    let mut summary = StructureSummary::new();
+    for (i, rec) in summary_heap.scan().enumerate() {
+        let (_, data) = rec?;
+        let kind = data[0];
+        let tag = TagCode(u16::from_le_bytes([data[1], data[2]]));
+        let parent_raw = u32::from_le_bytes(data[3..7].try_into().expect("fixed"));
+        let container_raw = u32::from_le_bytes(data[7..11].try_into().expect("fixed"));
+        let pk = match kind {
+            0 => PathKind::Root,
+            1 => PathKind::Element(tag),
+            2 => PathKind::Attribute(tag),
+            3 => PathKind::Text,
+            k => return corrupt(format!("summary kind {k}")),
+        };
+        let pid = if kind == 0 {
+            summary.root()
+        } else {
+            summary.intern_child(PathId(parent_raw), pk)
+        };
+        if pid.0 as usize != i {
+            return corrupt("summary ids not dense");
+        }
+        if container_raw != u32::MAX {
+            summary.set_container(pid, ContainerId(container_raw));
+        }
+        let (n_ext, used) =
+            read_varint(&data[11..]).ok_or_else(|| PersistError::Corrupt("extent".into()))?;
+        let mut pos = 11 + used;
+        let mut prev = 0u32;
+        for _ in 0..n_ext {
+            let (delta, used) =
+                read_varint(&data[pos..]).ok_or_else(|| PersistError::Corrupt("extent".into()))?;
+            pos += used;
+            prev += delta as u32;
+            summary.record(pid, ElemId(prev));
+        }
+    }
+    if summary.len() != n_paths {
+        return corrupt(format!("expected {n_paths} summary nodes, found {}", summary.len()));
+    }
+
+    // Models.
+    let models_heap = Heap::open(pool.clone(), PageId(pages[3]))?;
+    let mut models: Vec<Arc<ValueCodec>> = Vec::new();
+    for rec in models_heap.scan() {
+        let (_, data) = rec?;
+        let codec = ValueCodec::deserialize(&data)
+            .ok_or_else(|| PersistError::Corrupt("codec blob".into()))?;
+        models.push(Arc::new(codec));
+    }
+
+    // Containers.
+    let containers_heap = Heap::open(pool.clone(), PageId(pages[4]))?;
+    let mut containers: Vec<Container> = Vec::with_capacity(n_containers);
+    let mut stats: Vec<ContainerStats> = Vec::with_capacity(n_containers);
+    let mut scan = containers_heap.scan();
+    for ci in 0..n_containers {
+        let (_, header) = scan
+            .next()
+            .ok_or_else(|| PersistError::Corrupt("missing container header".into()))??;
+        let path = PathId(u32::from_le_bytes(header[0..4].try_into().expect("fixed")));
+        let leaf = match header[4] {
+            0 => ContainerLeaf::Text,
+            1 => ContainerLeaf::Attribute(TagCode(u16::from_le_bytes([header[5], header[6]]))),
+            k => return corrupt(format!("leaf kind {k}")),
+        };
+        let mut pos = 7usize;
+        let vtype = match header[pos] {
+            0 => {
+                pos += 1;
+                ValueType::Str
+            }
+            1 => {
+                pos += 1;
+                ValueType::Int
+            }
+            2 => {
+                pos += 2;
+                ValueType::Decimal(header[pos - 1])
+            }
+            k => return corrupt(format!("vtype {k}")),
+        };
+        let mode = header[pos];
+        pos += 1;
+        let model_id = if mode == 0 {
+            let (m, used) =
+                read_varint(&header[pos..]).ok_or_else(|| PersistError::Corrupt("model".into()))?;
+            pos += used;
+            Some(m)
+        } else {
+            None
+        };
+        let (count, _) =
+            read_varint(&header[pos..]).ok_or_else(|| PersistError::Corrupt("count".into()))?;
+
+        let cid = ContainerId(ci as u32);
+        if mode == 0 {
+            let codec = models
+                .get(model_id.expect("individual has model"))
+                .cloned()
+                .ok_or_else(|| PersistError::Corrupt("model id out of range".into()))?;
+            // Read chunks and rebuild via the raw constructor.
+            let mut comps: Vec<Box<[u8]>> = Vec::with_capacity(count);
+            let mut parents: Vec<ElemId> = Vec::with_capacity(count);
+            while comps.len() < count {
+                let (_, chunk) = scan
+                    .next()
+                    .ok_or_else(|| PersistError::Corrupt("missing container chunk".into()))??;
+                let mut p = 0usize;
+                while p < chunk.len() {
+                    let parent =
+                        ElemId(u32::from_le_bytes(chunk[p..p + 4].try_into().expect("fixed")));
+                    p += 4;
+                    let (len, used) = read_varint(&chunk[p..])
+                        .ok_or_else(|| PersistError::Corrupt("record len".into()))?;
+                    p += used;
+                    comps.push(chunk[p..p + len].to_vec().into_boxed_slice());
+                    p += len;
+                    parents.push(parent);
+                }
+            }
+            let c = Container::from_parts(cid, path, leaf, vtype, codec, comps, parents);
+            stats.push(ContainerStats::from_values(
+                c.decompress_all().iter().map(|s| s.as_str()),
+            ));
+            containers.push(c);
+        } else {
+            let (_, pchunk) = scan
+                .next()
+                .ok_or_else(|| PersistError::Corrupt("missing parents chunk".into()))??;
+            let parents: Vec<ElemId> = pchunk
+                .chunks_exact(4)
+                .map(|b| ElemId(u32::from_le_bytes(b.try_into().expect("fixed"))))
+                .collect();
+            if parents.len() != count {
+                return corrupt("parents count mismatch");
+            }
+            let (_, blob) = scan
+                .next()
+                .ok_or_else(|| PersistError::Corrupt("missing block blob".into()))??;
+            let c = Container::from_block_parts(cid, path, leaf, vtype, blob, parents);
+            stats.push(ContainerStats::from_values(
+                c.decompress_all().iter().map(|s| s.as_str()),
+            ));
+            containers.push(c);
+        }
+    }
+
+    Ok(Repository { dict, tree, summary, containers, stats, original_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load_with, LoaderOptions, WorkloadSpec};
+    use crate::query::Engine;
+    use crate::workload::PredOp;
+
+    #[test]
+    fn save_load_roundtrip() {
+        let xml = xquec_xml::gen::Dataset::Xmark.generate(120_000);
+        let spec = WorkloadSpec::new()
+            .join("//buyer/@person", "//person/@id", PredOp::Eq)
+            .constant("//price/text()", PredOp::Ineq)
+            .project("//person/name/text()");
+        let opts = LoaderOptions { workload: Some(spec), ..Default::default() };
+        let repo = load_with(&xml, &opts).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("xquec-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("repo.xqc");
+        save(&repo, &file).unwrap();
+        let revived = super::load(&file).unwrap();
+
+        assert_eq!(revived.tree.len(), repo.tree.len());
+        assert_eq!(revived.summary.len(), repo.summary.len());
+        assert_eq!(revived.containers.len(), repo.containers.len());
+        assert_eq!(revived.original_bytes, repo.original_bytes);
+
+        // Queries give identical results on the revived repository.
+        let e1 = Engine::new(&repo);
+        let e2 = Engine::new(&revived);
+        for q in [
+            "count(//person)",
+            "sum(//closed_auction/price/text())",
+            r#"for $p in /site/people/person where $p/@id = "person3" return $p/name/text()"#,
+            "count(for $t in //closed_auction where $t/price/text() >= 100 return $t)",
+        ] {
+            assert_eq!(e1.run(q).unwrap(), e2.run(q).unwrap(), "query {q}");
+        }
+        std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("xquec-persist-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("bad.xqc");
+        std::fs::write(&file, vec![0u8; 8192]).unwrap();
+        assert!(super::load(&file).is_err());
+        std::fs::remove_file(&file).unwrap();
+    }
+}

@@ -1,0 +1,1677 @@
+//! The query evaluation engine (§4).
+//!
+//! Evaluation works directly over the compressed repository through the
+//! paper's physical operators:
+//!
+//! * `StructureSummaryAccess` — the structural prefix of an absolute path is
+//!   resolved entirely in the summary and answered from extents (document
+//!   order for free);
+//! * `Child` / `Parent` — structure-tree navigation;
+//! * `ContAccess` — value predicates are pushed down to a binary-searched
+//!   range over the value-ordered container, then mapped *bottom-up* to the
+//!   loop variable through parent steps (the hybrid strategies of §2.1);
+//! * `TextContent` — elements are paired with their values through the node
+//!   records' value pointers;
+//! * `HashJoin` — correlated FLWOR subqueries with an equality on container
+//!   values are decorrelated into a hash join keyed on *compressed* bytes
+//!   when both sides share a source model (the Q8/Q9 plan shape of Fig. 5);
+//! * `Decompress` — placed implicitly at the last possible moment: wildcard
+//!   matches, cross-model comparisons, and final serialization.
+//!
+//! [`ExecStats`] counts decompressions and compressed-domain comparisons so
+//! tests and benchmarks can verify lazy decompression actually happens.
+
+use super::ast::*;
+use super::parser::{parse, ParseError};
+use super::value::{effective_boolean, Fragment, Item, Sequence};
+use crate::container::{ContainerLeaf, ValueType};
+use crate::ids::{ContainerId, ElemId, PathId, TagCode};
+use crate::repo::Repository;
+use crate::summary::PathKind;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::sync::Arc;
+use xquec_compress::ValueCodec;
+
+/// Query-evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryError {
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError { message: e.to_string() }
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, QueryError> {
+    Err(QueryError { message: msg.into() })
+}
+
+/// Execution counters (lazy-decompression instrumentation).
+#[derive(Debug, Default, Clone)]
+pub struct ExecStats {
+    /// Values decompressed.
+    pub decompressions: usize,
+    /// Equality comparisons resolved on compressed bytes.
+    pub compressed_eq: usize,
+    /// Order comparisons resolved on compressed bytes.
+    pub compressed_cmp: usize,
+    /// Physical-operator trace (one entry per operator instantiation).
+    pub operators: Vec<String>,
+}
+
+type Env = Vec<(String, Sequence)>;
+
+struct JoinIndex {
+    rows: Vec<Item>,
+    by_bytes: HashMap<Vec<u8>, Vec<u32>>,
+    codec: Option<Arc<ValueCodec>>,
+    by_str: RefCell<Option<HashMap<String, Vec<u32>>>>,
+}
+
+struct Ctx {
+    join_cache: RefCell<HashMap<usize, Rc<JoinIndex>>>,
+}
+
+/// The XQueC query engine over one repository.
+pub struct Engine<'r> {
+    repo: &'r Repository,
+    /// `subtree_end[i]` = largest pre-order id inside node `i`'s subtree.
+    subtree_end: Vec<u32>,
+    /// Execution counters for the most recent run.
+    pub stats: RefCell<ExecStats>,
+    /// Decompressed block containers (an XMill-style container must be
+    /// inflated wholesale the first time any of its values is touched).
+    block_cache: RefCell<HashMap<ContainerId, Rc<Vec<String>>>>,
+}
+
+impl<'r> Engine<'r> {
+    /// Build an engine (computes the subtree-range table once).
+    pub fn new(repo: &'r Repository) -> Self {
+        let n = repo.tree.len();
+        let mut subtree_end = vec![0u32; n];
+        for i in (0..n).rev() {
+            let id = ElemId(i as u32);
+            let end = repo
+                .tree
+                .node(id)
+                .children
+                .last()
+                .map_or(i as u32, |c| subtree_end[c.0 as usize]);
+            subtree_end[i] = end;
+        }
+        Engine {
+            repo,
+            subtree_end,
+            stats: RefCell::new(ExecStats::default()),
+            block_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Read one value of a block container, inflating the whole container on
+    /// first touch (the deliberate cost of XMill-style storage).
+    fn block_value(&self, cid: ContainerId, idx: u32) -> String {
+        let cached = self.block_cache.borrow().get(&cid).cloned();
+        let all = match cached {
+            Some(a) => a,
+            None => {
+                let c = self.repo.container(cid);
+                self.stats.borrow_mut().decompressions += c.len();
+                let a = Rc::new(c.decompress_all());
+                self.block_cache.borrow_mut().insert(cid, a.clone());
+                a
+            }
+        };
+        all[idx as usize].clone()
+    }
+
+    /// Read one container value as plaintext, going through the block cache
+    /// for block containers and the per-value codec otherwise.
+    fn read_value(&self, cid: ContainerId, idx: u32) -> String {
+        let c = self.repo.container(cid);
+        if c.is_individual() {
+            self.stats.borrow_mut().decompressions += 1;
+            c.decompress(idx)
+        } else {
+            self.block_value(cid, idx)
+        }
+    }
+
+    /// Parse, evaluate and serialize a query.
+    pub fn run(&self, query: &str) -> Result<String, QueryError> {
+        let seq = self.eval_query(query)?;
+        Ok(self.serialize(&seq))
+    }
+
+    /// Parse and evaluate a query, returning the raw sequence.
+    pub fn eval_query(&self, query: &str) -> Result<Sequence, QueryError> {
+        *self.stats.borrow_mut() = ExecStats::default();
+        let ast = parse(query)?;
+        let ctx = Ctx { join_cache: RefCell::new(HashMap::new()) };
+        let mut env: Env = Vec::new();
+        self.eval(&ast, &mut env, &ctx)
+    }
+
+    /// Run a query and return the physical-operator trace.
+    pub fn explain(&self, query: &str) -> Result<String, QueryError> {
+        self.run(query)?;
+        Ok(self.stats.borrow().operators.join("\n"))
+    }
+
+    // ---- core evaluation ------------------------------------------------
+
+    fn eval(&self, expr: &Expr, env: &mut Env, ctx: &Ctx) -> Result<Sequence, QueryError> {
+        match expr {
+            Expr::Str(s) => Ok(vec![Item::Str(Rc::from(s.as_str()))]),
+            Expr::Num(n) => Ok(vec![Item::Num(*n)]),
+            Expr::Var(v) => self.lookup(env, v),
+            Expr::Seq(items) => {
+                let mut out = Vec::new();
+                for e in items {
+                    out.extend(self.eval(e, env, ctx)?);
+                }
+                Ok(out)
+            }
+            Expr::Or(a, b) => {
+                let l = self.ebv(a, env, ctx)?;
+                Ok(vec![Item::Bool(l || self.ebv(b, env, ctx)?)])
+            }
+            Expr::And(a, b) => {
+                let l = self.ebv(a, env, ctx)?;
+                Ok(vec![Item::Bool(l && self.ebv(b, env, ctx)?)])
+            }
+            Expr::Cmp(op, a, b) => {
+                let l = self.eval(a, env, ctx)?;
+                let r = self.eval(b, env, ctx)?;
+                Ok(vec![Item::Bool(self.general_compare(*op, &l, &r)?)])
+            }
+            Expr::Arith(op, a, b) => {
+                let l = self.eval(a, env, ctx)?;
+                let r = self.eval(b, env, ctx)?;
+                if l.is_empty() || r.is_empty() {
+                    return Ok(vec![]);
+                }
+                let x = self.num_value(&l[0]);
+                let y = self.num_value(&r[0]);
+                let v = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                    ArithOp::Mod => x % y,
+                };
+                Ok(vec![Item::Num(v)])
+            }
+            Expr::Neg(e) => {
+                let v = self.eval(e, env, ctx)?;
+                if v.is_empty() {
+                    return Ok(vec![]);
+                }
+                Ok(vec![Item::Num(-self.num_value(&v[0]))])
+            }
+            Expr::If(c, t, e) => {
+                if self.ebv(c, env, ctx)? {
+                    self.eval(t, env, ctx)
+                } else {
+                    self.eval(e, env, ctx)
+                }
+            }
+            Expr::Some { var, source, satisfies, every } => {
+                let src = self.eval(source, env, ctx)?;
+                for item in src {
+                    env.push((var.clone(), vec![item]));
+                    let ok = self.ebv(satisfies, env, ctx);
+                    env.pop();
+                    if ok? != *every {
+                        // some: first true wins; every: first false loses.
+                        return Ok(vec![Item::Bool(!every)]);
+                    }
+                }
+                Ok(vec![Item::Bool(*every)])
+            }
+            Expr::Union(a, b) => {
+                let mut out = self.eval(a, env, ctx)?;
+                out.extend(self.eval(b, env, ctx)?);
+                // Node union: document order with duplicates removed; other
+                // items keep their order of appearance.
+                if out.iter().all(|i| matches!(i, Item::Node(_))) {
+                    let mut nodes: Vec<ElemId> = out
+                        .iter()
+                        .map(|i| match i {
+                            Item::Node(n) => *n,
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    nodes.sort();
+                    nodes.dedup();
+                    out = nodes.into_iter().map(Item::Node).collect();
+                }
+                Ok(out)
+            }
+            Expr::Call(name, args) => self.call(name, args, env, ctx),
+            Expr::Elem(ctor) => {
+                let mut attrs = Vec::with_capacity(ctor.attrs.len());
+                for (n, e) in &ctor.attrs {
+                    attrs.push((n.clone(), self.eval(e, env, ctx)?));
+                }
+                let mut children = Vec::with_capacity(ctor.children.len());
+                for e in &ctor.children {
+                    children.push(self.eval(e, env, ctx)?);
+                }
+                Ok(vec![Item::Tree(Rc::new(Fragment { tag: ctor.tag.clone(), attrs, children }))])
+            }
+            Expr::Path(p) => self.eval_path(p, env, ctx),
+            Expr::Flwor(clauses, ret) => {
+                self.eval_flwor(expr as *const Expr as usize, clauses, ret, env, ctx)
+            }
+        }
+    }
+
+    fn lookup(&self, env: &Env, var: &str) -> Result<Sequence, QueryError> {
+        env.iter()
+            .rev()
+            .find(|(n, _)| n == var)
+            .map(|(_, s)| s.clone())
+            .ok_or_else(|| QueryError { message: format!("unbound variable ${var}") })
+    }
+
+    fn ebv(&self, expr: &Expr, env: &mut Env, ctx: &Ctx) -> Result<bool, QueryError> {
+        let seq = self.eval(expr, env, ctx)?;
+        Ok(effective_boolean(&seq))
+    }
+
+    // ---- FLWOR ------------------------------------------------------------
+
+    fn eval_flwor(
+        &self,
+        key: usize,
+        clauses: &[Clause],
+        ret: &Expr,
+        env: &mut Env,
+        ctx: &Ctx,
+    ) -> Result<Sequence, QueryError> {
+        // Hash-join decorrelation for the Q8/Q9 pattern.
+        if let Some(out) = self.try_hash_join(key, clauses, ret, env, ctx)? {
+            return Ok(out);
+        }
+        let order: Option<(&Expr, bool)> = clauses.iter().find_map(|c| match c {
+            Clause::OrderBy(e, desc) => Some((e, *desc)),
+            _ => None,
+        });
+        let plain: Vec<&Clause> =
+            clauses.iter().filter(|c| !matches!(c, Clause::OrderBy(..))).collect();
+        let consumed = RefCell::new(HashSet::new());
+        let mut rows: Vec<(Option<String>, Sequence)> = Vec::new();
+        self.flwor_rec(&plain, 0, ret, order.map(|(e, _)| e), env, ctx, &consumed, &mut rows)?;
+        if let Some((_, desc)) = order {
+            rows.sort_by(|a, b| {
+                let cmp = compare_order_keys(a.0.as_deref(), b.0.as_deref());
+                if desc {
+                    cmp.reverse()
+                } else {
+                    cmp
+                }
+            });
+        }
+        Ok(rows.into_iter().flat_map(|(_, s)| s).collect())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn flwor_rec(
+        &self,
+        clauses: &[&Clause],
+        idx: usize,
+        ret: &Expr,
+        order_key: Option<&Expr>,
+        env: &mut Env,
+        ctx: &Ctx,
+        consumed: &RefCell<HashSet<usize>>,
+        rows: &mut Vec<(Option<String>, Sequence)>,
+    ) -> Result<(), QueryError> {
+        if idx == clauses.len() {
+            let key = match order_key {
+                Some(e) => {
+                    let k = self.eval(e, env, ctx)?;
+                    Some(k.first().map(|i| self.string_value(i)).unwrap_or_default())
+                }
+                None => None,
+            };
+            let val = self.eval(ret, env, ctx)?;
+            rows.push((key, val));
+            return Ok(());
+        }
+        match clauses[idx] {
+            Clause::For(v, src) => {
+                let mut seq = self.eval(src, env, ctx)?;
+                // Index pushdown: apply indexable Where conjuncts that
+                // constrain this variable before iterating.
+                if seq.iter().all(|i| matches!(i, Item::Node(_))) {
+                    let nodes: Vec<ElemId> = seq
+                        .iter()
+                        .map(|i| match i {
+                            Item::Node(n) => *n,
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    let mut nodes = nodes;
+                    for clause in &clauses[idx + 1..] {
+                        let Clause::Where(w) = clause else { continue };
+                        for conj in conjuncts(w) {
+                            if consumed.borrow().contains(&(conj as *const Expr as usize)) {
+                                continue;
+                            }
+                            if let Some(filtered) =
+                                self.try_index_conjunct(&nodes, v, conj)
+                            {
+                                nodes = filtered;
+                                consumed.borrow_mut().insert(conj as *const Expr as usize);
+                            }
+                        }
+                    }
+                    seq = nodes.into_iter().map(Item::Node).collect();
+                }
+                for item in seq {
+                    env.push((v.clone(), vec![item]));
+                    let r =
+                        self.flwor_rec(clauses, idx + 1, ret, order_key, env, ctx, consumed, rows);
+                    env.pop();
+                    r?;
+                }
+                Ok(())
+            }
+            Clause::Let(v, src) => {
+                let seq = self.eval(src, env, ctx)?;
+                env.push((v.clone(), seq));
+                let r = self.flwor_rec(clauses, idx + 1, ret, order_key, env, ctx, consumed, rows);
+                env.pop();
+                r
+            }
+            Clause::Where(w) => {
+                for conj in conjuncts(w) {
+                    if consumed.borrow().contains(&(conj as *const Expr as usize)) {
+                        continue;
+                    }
+                    if !self.ebv(conj, env, ctx)? {
+                        return Ok(());
+                    }
+                }
+                self.flwor_rec(clauses, idx + 1, ret, order_key, env, ctx, consumed, rows)
+            }
+            Clause::OrderBy(..) => {
+                self.flwor_rec(clauses, idx + 1, ret, order_key, env, ctx, consumed, rows)
+            }
+        }
+    }
+
+    // ---- hash-join decorrelation ---------------------------------------
+
+    /// Detect `for $t in <independent path> … where <$t-path> = <outer expr>`
+    /// and evaluate it as a hash join: the inner side is materialized and
+    /// indexed once (cached across re-evaluations of this sub-FLWOR), keyed
+    /// on compressed bytes when possible.
+    fn try_hash_join(
+        &self,
+        key: usize,
+        clauses: &[Clause],
+        ret: &Expr,
+        env: &mut Env,
+        ctx: &Ctx,
+    ) -> Result<Option<Sequence>, QueryError> {
+        let Some(Clause::For(v2, src2)) = clauses.first() else { return Ok(None) };
+        if !matches!(src2, Expr::Path(PathExpr { root: PathRoot::Document, .. })) {
+            return Ok(None);
+        }
+        // Find the correlated equality conjunct: one side depends only on
+        // $v2 (the inner key), the other references an outer binding.
+        let mut join: Option<(&Expr, &Expr, &Expr)> = None; // (conjunct, inner side, outer side)
+        'outer: for clause in &clauses[1..] {
+            let Clause::Where(w) = clause else { continue };
+            for conj in conjuncts(w) {
+                let Expr::Cmp(CmpOp::Eq, a, b) = conj else { continue };
+                let inner_ok = |e: &Expr| refs_var(e, v2) && !refs_any_free(e, v2);
+                let outer_ok = |e: &Expr| !refs_var(e, v2) && refs_env(e, env);
+                if inner_ok(a) && outer_ok(b) {
+                    join = Some((conj, a, b));
+                    break 'outer;
+                }
+                if inner_ok(b) && outer_ok(a) {
+                    join = Some((conj, b, a));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((conj, inner_side, outer_side)) = join else { return Ok(None) };
+
+        // Build (or fetch) the index.
+        let index = {
+            let cache = ctx.join_cache.borrow();
+            cache.get(&key).cloned()
+        };
+        let index = match index {
+            Some(i) => i,
+            None => {
+                let built = self.build_join_index(src2, v2, inner_side, ctx)?;
+                self.stats.borrow_mut().operators.push(format!(
+                    "HashJoin[build rows={} compressed_keys={}]",
+                    built.rows.len(),
+                    built.codec.is_some()
+                ));
+                let rc = Rc::new(built);
+                ctx.join_cache.borrow_mut().insert(key, rc.clone());
+                rc
+            }
+        };
+
+        // Probe with the outer side under the current environment.
+        let probe_keys = self.eval(outer_side, env, ctx)?;
+        let mut match_rows: Vec<u32> = Vec::new();
+        for pk in &probe_keys {
+            self.probe_join_index(&index, pk, &mut match_rows);
+        }
+        match_rows.sort_unstable();
+        match_rows.dedup();
+
+        // Evaluate the remaining clauses + return for every matching row.
+        let consumed = RefCell::new(HashSet::new());
+        consumed.borrow_mut().insert(conj as *const Expr as usize);
+        let plain: Vec<&Clause> = clauses[1..]
+            .iter()
+            .filter(|c| !matches!(c, Clause::OrderBy(..)))
+            .collect();
+        let mut rows: Vec<(Option<String>, Sequence)> = Vec::new();
+        for &ri in &match_rows {
+            env.push((v2.clone(), vec![index.rows[ri as usize].clone()]));
+            let r = self.flwor_rec(&plain, 0, ret, None, env, ctx, &consumed, &mut rows);
+            env.pop();
+            r?;
+        }
+        Ok(Some(rows.into_iter().flat_map(|(_, s)| s).collect()))
+    }
+
+    fn build_join_index(
+        &self,
+        src: &Expr,
+        var: &str,
+        key_expr: &Expr,
+        ctx: &Ctx,
+    ) -> Result<JoinIndex, QueryError> {
+        let mut env: Env = Vec::new();
+        let items = self.eval(src, &mut env, ctx)?;
+        // First pass: gather raw key items per row.
+        let mut rows = Vec::with_capacity(items.len());
+        let mut keyed: Vec<(u32, Item)> = Vec::new();
+        let mut codec: Option<Arc<ValueCodec>> = None;
+        let mut uniform = true;
+        for item in items {
+            env.push((var.to_owned(), vec![item.clone()]));
+            let keys = self.eval(key_expr, &mut env, ctx)?;
+            env.pop();
+            let row = rows.len() as u32;
+            rows.push(item);
+            for k in self.atomize_all(&keys) {
+                if let Item::Comp { container, .. } = &k {
+                    let c = self.repo.container(*container).codec().clone();
+                    match &codec {
+                        None => codec = Some(c),
+                        Some(prev) if Arc::ptr_eq(prev, &c) => {}
+                        _ => uniform = false,
+                    }
+                } else {
+                    uniform = false;
+                }
+                keyed.push((row, k));
+            }
+        }
+        if uniform && codec.is_some() {
+            // All keys come from one source model: index compressed bytes.
+            let mut by_bytes: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+            for (row, k) in keyed {
+                let Item::Comp { bytes, .. } = k else { unreachable!("uniform") };
+                by_bytes.entry(bytes.to_vec()).or_default().push(row);
+            }
+            return Ok(JoinIndex { rows, by_bytes, codec, by_str: RefCell::new(None) });
+        }
+        // Mixed key sources: index decompressed strings.
+        let mut by_str: HashMap<String, Vec<u32>> = HashMap::new();
+        for (row, k) in keyed {
+            by_str.entry(self.string_value(&k)).or_default().push(row);
+        }
+        Ok(JoinIndex {
+            rows,
+            by_bytes: HashMap::new(),
+            codec: None,
+            by_str: RefCell::new(Some(by_str)),
+        })
+    }
+
+    fn probe_join_index(&self, index: &JoinIndex, probe: &Item, out: &mut Vec<u32>) {
+        for atom in self.atomize_all(std::slice::from_ref(probe)) {
+            match (&atom, &index.codec) {
+                (Item::Comp { container, bytes }, Some(codec))
+                    if Arc::ptr_eq(self.repo.container(*container).codec(), codec) =>
+                {
+                    // Same source model: probe on compressed bytes.
+                    self.stats.borrow_mut().compressed_eq += 1;
+                    if let Some(rows) = index.by_bytes.get(bytes.as_ref()) {
+                        out.extend(rows.iter().copied());
+                    }
+                }
+                _ => {
+                    // Fall back to a lazily built decompressed-key index.
+                    let s = self.string_value(&atom);
+                    let mut by_str = index.by_str.borrow_mut();
+                    if by_str.is_none() {
+                        let mut m: HashMap<String, Vec<u32>> = HashMap::new();
+                        if let Some(codec) = &index.codec {
+                            for (k, rows) in &index.by_bytes {
+                                self.stats.borrow_mut().decompressions += 1;
+                                let plain = String::from_utf8_lossy(&codec.decompress(k))
+                                    .into_owned();
+                                m.entry(plain).or_default().extend(rows.iter().copied());
+                            }
+                        }
+                        *by_str = Some(m);
+                    }
+                    if let Some(rows) = by_str.as_ref().expect("just built").get(&s) {
+                        out.extend(rows.iter().copied());
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- paths ------------------------------------------------------------
+
+    fn eval_path(&self, p: &PathExpr, env: &mut Env, ctx: &Ctx) -> Result<Sequence, QueryError> {
+        match &p.root {
+            PathRoot::Document => self.eval_absolute_path(&p.steps, env, ctx),
+            PathRoot::Var(v) => {
+                let bound = self.lookup(env, v)?;
+                let nodes = self.to_nodes(&bound)?;
+                self.apply_steps(nodes, &p.steps, env, ctx)
+            }
+            PathRoot::Context => {
+                let bound = self.lookup(env, ".")?;
+                let nodes = self.to_nodes(&bound)?;
+                self.apply_steps(nodes, &p.steps, env, ctx)
+            }
+        }
+    }
+
+    fn to_nodes(&self, seq: &Sequence) -> Result<Vec<ElemId>, QueryError> {
+        let mut out = Vec::with_capacity(seq.len());
+        for i in seq {
+            match i {
+                Item::Node(n) => out.push(*n),
+                _ => return err("path step applied to a non-node item"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Absolute path: resolve the structural prefix in the summary
+    /// (`StructureSummaryAccess`), then navigate the rest per node.
+    fn eval_absolute_path(
+        &self,
+        steps: &[Step],
+        env: &mut Env,
+        ctx: &Ctx,
+    ) -> Result<Sequence, QueryError> {
+        let mut spaths: Vec<PathId> = vec![self.repo.summary.root()];
+        let mut i = 0usize;
+        while i < steps.len() {
+            let step = &steps[i];
+            if !step.predicates.is_empty() {
+                break;
+            }
+            let next: Vec<PathId> = match (&step.axis, &step.test) {
+                (Axis::Child, NodeTest::Tag(t)) => {
+                    let Some(code) = self.repo.dict.code(t) else {
+                        return Ok(vec![]); // tag absent from the document
+                    };
+                    spaths
+                        .iter()
+                        .filter_map(|&p| self.repo.summary.child_element(p, code))
+                        .collect()
+                }
+                (Axis::Child, NodeTest::AnyElement) => spaths
+                    .iter()
+                    .flat_map(|&p| {
+                        self.repo.summary.node(p).children.iter().copied().filter(|&c| {
+                            matches!(self.repo.summary.node(c).kind, PathKind::Element(_))
+                        })
+                    })
+                    .collect(),
+                (Axis::Descendant, NodeTest::Tag(t)) => {
+                    let Some(code) = self.repo.dict.code(t) else { return Ok(vec![]) };
+                    let mut v: Vec<PathId> = spaths
+                        .iter()
+                        .flat_map(|&p| self.repo.summary.descendant_elements(p, code))
+                        .collect();
+                    v.sort();
+                    v.dedup();
+                    v
+                }
+                _ => break, // value test / parent axis: handled from extents
+            };
+            if next.is_empty() {
+                return Ok(vec![]);
+            }
+            spaths = next;
+            i += 1;
+        }
+        // Materialize extents (merged in document order).
+        let mut nodes: Vec<ElemId> = Vec::new();
+        for &p in &spaths {
+            if matches!(self.repo.summary.node(p).kind, PathKind::Root) {
+                // Virtual root: its "extent" is the document root element.
+                if let Some(r) = self.repo.root() {
+                    nodes.push(r);
+                }
+            } else {
+                nodes.extend(self.repo.summary.node(p).extent.iter().copied());
+            }
+        }
+        nodes.sort();
+        nodes.dedup();
+        if i > 0 {
+            self.stats
+                .borrow_mut()
+                .operators
+                .push(format!("StructureSummaryAccess[paths={} nodes={}]", spaths.len(), nodes.len()));
+        }
+        self.apply_steps(nodes, &steps[i..], env, ctx)
+    }
+
+    /// Apply steps to a node set, node-navigation style.
+    fn apply_steps(
+        &self,
+        mut nodes: Vec<ElemId>,
+        steps: &[Step],
+        env: &mut Env,
+        ctx: &Ctx,
+    ) -> Result<Sequence, QueryError> {
+        for (si, step) in steps.iter().enumerate() {
+            let last = si + 1 == steps.len();
+            match &step.test {
+                NodeTest::Text => {
+                    if !last {
+                        return err("text() must be the final step");
+                    }
+                    return Ok(self.values_of(&nodes, None));
+                }
+                NodeTest::Attr(name) => {
+                    if !last {
+                        return err("attribute step must be the final step");
+                    }
+                    let Some(code) = self.repo.dict.code(name) else { return Ok(vec![]) };
+                    return Ok(self.values_of(&nodes, Some(code)));
+                }
+                NodeTest::Tag(_) | NodeTest::AnyElement => {
+                    nodes = self.element_step(&nodes, step, env, ctx)?;
+                    if nodes.is_empty() {
+                        return Ok(vec![]);
+                    }
+                }
+            }
+        }
+        Ok(nodes.into_iter().map(Item::Node).collect())
+    }
+
+    /// `TextContent`: pair elements with their values through value refs.
+    fn values_of(&self, nodes: &[ElemId], attr: Option<TagCode>) -> Sequence {
+        let mut out = Vec::new();
+        for &n in nodes {
+            for vr in self.repo.tree.values(n) {
+                let c = self.repo.container(vr.container);
+                let keep = match (attr, c.leaf) {
+                    (None, ContainerLeaf::Text) => true,
+                    (Some(a), ContainerLeaf::Attribute(t)) => a == t,
+                    _ => false,
+                };
+                if keep {
+                    if c.is_individual() {
+                        out.push(Item::Comp {
+                            container: vr.container,
+                            bytes: Rc::from(c.compressed(vr.index)),
+                        });
+                    } else {
+                        // Block container: whole-container decompression.
+                        out.push(Item::Str(Rc::from(
+                            self.block_value(vr.container, vr.index).as_str(),
+                        )));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn element_step(
+        &self,
+        input: &[ElemId],
+        step: &Step,
+        env: &mut Env,
+        ctx: &Ctx,
+    ) -> Result<Vec<ElemId>, QueryError> {
+        let tag = match &step.test {
+            NodeTest::Tag(t) => match self.repo.dict.code(t) {
+                Some(c) => Some(c),
+                None => return Ok(vec![]),
+            },
+            NodeTest::AnyElement => None,
+            _ => unreachable!("value tests handled by caller"),
+        };
+        let positional: Vec<&StepPredicate> = step
+            .predicates
+            .iter()
+            .filter(|p| matches!(p, StepPredicate::Position(_) | StepPredicate::Last))
+            .collect();
+        let mut out: Vec<ElemId> = Vec::new();
+        for &n in input {
+            let mut matches: Vec<ElemId> = match step.axis {
+                Axis::Child => self.repo.tree.children(n, tag).collect(),
+                Axis::Descendant => self.descendants_via_summary(n, tag),
+                Axis::Parent => self
+                    .repo
+                    .tree
+                    .parent(n)
+                    .into_iter()
+                    .filter(|&p| tag.is_none_or(|t| self.repo.tree.tag(p) == t))
+                    .collect(),
+            };
+            for pos in &positional {
+                match pos {
+                    StepPredicate::Position(k) => {
+                        let k = *k;
+                        matches = if k >= 1 && (k as usize) <= matches.len() {
+                            vec![matches[k as usize - 1]]
+                        } else {
+                            vec![]
+                        };
+                    }
+                    StepPredicate::Last => {
+                        matches = matches.last().map(|&l| vec![l]).unwrap_or_default();
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            out.extend(matches);
+        }
+        out.sort();
+        out.dedup();
+        // Boolean filters, with the ContAccess pushdown attempt first.
+        for pred in &step.predicates {
+            let StepPredicate::Filter(f) = pred else { continue };
+            if let Some(filtered) = self.try_filter_index(&out, f) {
+                out = filtered;
+                continue;
+            }
+            let mut kept = Vec::with_capacity(out.len());
+            for &c in &out {
+                env.push((".".to_owned(), vec![Item::Node(c)]));
+                let ok = self.ebv(f, env, ctx);
+                env.pop();
+                if ok? {
+                    kept.push(c);
+                }
+            }
+            out = kept;
+        }
+        Ok(out)
+    }
+
+    /// Descendant step through the summary: find matching descendant paths,
+    /// then binary-search each extent for the subtree id range — no tree
+    /// walk (the §2.3 Q14 access pattern).
+    fn descendants_via_summary(&self, n: ElemId, tag: Option<TagCode>) -> Vec<ElemId> {
+        let end = self.subtree_end[n.0 as usize];
+        let mut out = Vec::new();
+        match tag {
+            Some(code) => {
+                let p = self.repo.tree.path(n);
+                for s in self.repo.summary.descendant_elements(p, code) {
+                    let extent = &self.repo.summary.node(s).extent;
+                    let lo = extent.partition_point(|&e| e <= n);
+                    let hi = extent.partition_point(|&e| e.0 <= end);
+                    out.extend(extent[lo..hi].iter().copied());
+                }
+                out.sort();
+                out.dedup();
+            }
+            None => out = self.repo.tree.descendants(n),
+        }
+        out
+    }
+
+    // ---- ContAccess pushdown --------------------------------------------
+
+    /// Try to answer a step filter `[relpath op const]` via container ranges.
+    fn try_filter_index(&self, candidates: &[ElemId], filter: &Expr) -> Option<Vec<ElemId>> {
+        let (op, rel, konst) = split_cmp_const(filter)?;
+        let PathExpr { root: PathRoot::Context, steps } = rel else { return None };
+        self.index_candidates(candidates, steps, op, konst)
+    }
+
+    /// Try to answer a FLWOR conjunct `$v/relpath op const` via container
+    /// ranges, filtering the node set bound to `$v`.
+    fn try_index_conjunct(
+        &self,
+        candidates: &[ElemId],
+        var: &str,
+        conj: &Expr,
+    ) -> Option<Vec<ElemId>> {
+        let (op, rel, konst) = split_cmp_const(conj)?;
+        match &rel.root {
+            PathRoot::Var(v) if v == var => {}
+            _ => return None,
+        }
+        self.index_candidates(candidates, &rel.steps, op, konst)
+    }
+
+    fn index_candidates(
+        &self,
+        candidates: &[ElemId],
+        rel_steps: &[Step],
+        op: CmpOp,
+        konst: &Expr,
+    ) -> Option<Vec<ElemId>> {
+        if candidates.is_empty() {
+            return Some(vec![]);
+        }
+        if op == CmpOp::Ne {
+            return None; // != is not a range
+        }
+        // Relative path must be structural child steps ending in a value test.
+        let (elem_steps, value_test) = rel_steps.split_at(rel_steps.len().checked_sub(1)?);
+        let value_test = &value_test[0];
+        if rel_steps.iter().any(|s| !s.predicates.is_empty() || s.axis != Axis::Child) {
+            return None;
+        }
+        if elem_steps.iter().any(|s| !matches!(s.test, NodeTest::Tag(_))) {
+            return None;
+        }
+        // Resolve the candidates' summary paths down the relative steps.
+        let mut cpaths: Vec<PathId> = candidates.iter().map(|&c| self.repo.tree.path(c)).collect();
+        cpaths.sort();
+        cpaths.dedup();
+        let mut leafs: Vec<PathId> = Vec::new();
+        for mut p in cpaths {
+            let mut ok = true;
+            for s in elem_steps {
+                let NodeTest::Tag(t) = &s.test else { return None };
+                let code = self.repo.dict.code(t)?;
+                match self.repo.summary.child_element(p, code) {
+                    Some(next) => p = next,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let leaf = match &value_test.test {
+                NodeTest::Text => self
+                    .repo
+                    .summary
+                    .node(p)
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| self.repo.summary.node(c).kind == PathKind::Text),
+                NodeTest::Attr(a) => {
+                    let code = self.repo.dict.code(a)?;
+                    self.repo
+                        .summary
+                        .node(p)
+                        .children
+                        .iter()
+                        .copied()
+                        .find(|&c| self.repo.summary.node(c).kind == PathKind::Attribute(code))
+                }
+                _ => return None,
+            };
+            if let Some(l) = leaf {
+                leafs.push(l);
+            }
+        }
+        let up = elem_steps.len();
+        let mut hits: HashSet<ElemId> = HashSet::new();
+        for leaf in leafs {
+            let cid = self.repo.summary.node(leaf).container?;
+            let c = self.repo.container(cid);
+            if !c.is_individual() {
+                return None;
+            }
+            let bound = self.bound_string(c, konst)?;
+            let range = match op {
+                CmpOp::Eq => c.equal_range(bound.as_bytes()),
+                CmpOp::Lt => 0..c.lower_bound(bound.as_bytes()),
+                CmpOp::Le => 0..c.upper_bound(bound.as_bytes()),
+                CmpOp::Gt => c.upper_bound(bound.as_bytes())..c.len() as u32,
+                CmpOp::Ge => c.lower_bound(bound.as_bytes())..c.len() as u32,
+                CmpOp::Ne => return None,
+            };
+            self.stats.borrow_mut().operators.push(format!(
+                "ContAccess[{} {} {:?} -> {} records]",
+                self.repo.container_path_string(cid),
+                op.as_str(),
+                bound,
+                range.len()
+            ));
+            for idx in range {
+                let mut owner = c.parent_of(idx);
+                for _ in 0..up {
+                    owner = self.repo.tree.parent(owner)?;
+                }
+                hits.insert(owner);
+            }
+        }
+        Some(candidates.iter().copied().filter(|c| hits.contains(c)).collect())
+    }
+
+    /// Render a constant for binary search in `c`'s value order; `None` when
+    /// the constant cannot be represented exactly (falls back to scans).
+    fn bound_string(&self, c: &crate::container::Container, konst: &Expr) -> Option<String> {
+        match (konst, c.vtype) {
+            (Expr::Str(s), ValueType::Str) => Some(s.clone()),
+            (Expr::Num(n), ValueType::Int) => {
+                (n.fract() == 0.0).then(|| format!("{}", *n as i64))
+            }
+            (Expr::Num(n), ValueType::Decimal(s)) => {
+                let scaled = n * 10f64.powi(s as i32);
+                (scaled.fract().abs() < 1e-9).then(|| format!("{:.*}", s as usize, n))
+            }
+            (Expr::Str(s), ValueType::Int | ValueType::Decimal(_)) => {
+                // A string constant against a numeric container: accept it
+                // only if it is already in canonical numeric form.
+                let n: f64 = s.parse().ok()?;
+                self.bound_string(c, &Expr::Num(n))
+            }
+            (Expr::Num(n), ValueType::Str) => Some(format_number(*n)),
+            _ => None,
+        }
+    }
+
+    // ---- comparisons ------------------------------------------------------
+
+    /// General (existential) comparison.
+    fn general_compare(&self, op: CmpOp, l: &Sequence, r: &Sequence) -> Result<bool, QueryError> {
+        let la = self.atomize_all(l);
+        let ra = self.atomize_all(r);
+        for a in &la {
+            for b in &ra {
+                if self.compare_pair(op, a, b)? {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Atomization: nodes become their (still compressed) text values.
+    fn atomize_all(&self, seq: &[Item]) -> Sequence {
+        let mut out = Vec::with_capacity(seq.len());
+        for item in seq {
+            match item {
+                Item::Node(n) => {
+                    let vals = self.values_of(std::slice::from_ref(n), None);
+                    if vals.is_empty() {
+                        out.push(Item::Str(Rc::from(self.string_value(item).as_str())));
+                    } else {
+                        out.extend(vals);
+                    }
+                }
+                Item::Tree(_) => out.push(Item::Str(Rc::from(self.string_value(item).as_str()))),
+                other => out.push(other.clone()),
+            }
+        }
+        out
+    }
+
+    fn compare_pair(&self, op: CmpOp, a: &Item, b: &Item) -> Result<bool, QueryError> {
+        use std::cmp::Ordering;
+        let ord_ok = |ord: Ordering| match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        };
+        // Numeric comparison when either side is a number.
+        if matches!(a, Item::Num(_)) || matches!(b, Item::Num(_)) {
+            // Number vs numeric container value: compare compressed.
+            let (num, comp, flipped) = match (a, b) {
+                (Item::Num(n), Item::Comp { container, bytes }) => {
+                    (*n, Some((*container, bytes)), true)
+                }
+                (Item::Comp { container, bytes }, Item::Num(n)) => {
+                    (*n, Some((*container, bytes)), false)
+                }
+                _ => (0.0, None, false),
+            };
+            if let Some((cid, bytes)) = comp {
+                let c = self.repo.container(cid);
+                if c.vtype != ValueType::Str && c.is_individual() {
+                    if let Some(bound) = self.bound_string(c, &Expr::Num(num)) {
+                        if let Some(cb) = c.codec().compress(bound.as_bytes()) {
+                            let ord = c
+                                .codec()
+                                .cmp_compressed(bytes, &cb)
+                                .expect("numeric codecs are order-preserving");
+                            self.stats.borrow_mut().compressed_cmp += 1;
+                            let ord = if flipped { ord.reverse() } else { ord };
+                            return Ok(ord_ok(ord));
+                        }
+                    }
+                }
+            }
+            let x = self.num_value(a);
+            let y = self.num_value(b);
+            if x.is_nan() || y.is_nan() {
+                return Ok(false);
+            }
+            return Ok(ord_ok(x.partial_cmp(&y).expect("no NaN")));
+        }
+        // Boolean comparison.
+        if matches!(a, Item::Bool(_)) || matches!(b, Item::Bool(_)) {
+            let x = effective_boolean(&vec![a.clone()]);
+            let y = effective_boolean(&vec![b.clone()]);
+            return Ok(ord_ok(x.cmp(&y)));
+        }
+        // String-ish comparisons — the compressed-domain cases of §2.1.
+        match (a, b) {
+            (
+                Item::Comp { container: ca, bytes: ba },
+                Item::Comp { container: cb, bytes: bb },
+            ) => {
+                let cca = self.repo.container(*ca).codec();
+                let ccb = self.repo.container(*cb).codec();
+                if Arc::ptr_eq(cca, ccb) {
+                    if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                        self.stats.borrow_mut().compressed_eq += 1;
+                        return Ok(ord_ok(ba.as_ref().cmp(bb.as_ref())));
+                    }
+                    if let Some(ord) = cca.cmp_compressed(ba, bb) {
+                        self.stats.borrow_mut().compressed_cmp += 1;
+                        return Ok(ord_ok(ord));
+                    }
+                }
+                let x = self.string_value(a);
+                let y = self.string_value(b);
+                Ok(ord_ok(x.cmp(&y)))
+            }
+            (Item::Comp { container, bytes }, Item::Str(s))
+            | (Item::Str(s), Item::Comp { container, bytes }) => {
+                let flipped = matches!(a, Item::Str(_));
+                let c = self.repo.container(*container);
+                if c.is_individual() {
+                    if let Some(cb) = c.codec().compress(s.as_bytes()) {
+                        if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                            self.stats.borrow_mut().compressed_eq += 1;
+                            let ord = bytes.as_ref().cmp(cb.as_slice());
+                            let ord = if flipped { ord.reverse() } else { ord };
+                            return Ok(ord_ok(ord));
+                        }
+                        if let Some(ord) = c.codec().cmp_compressed(bytes, &cb) {
+                            self.stats.borrow_mut().compressed_cmp += 1;
+                            let ord = if flipped { ord.reverse() } else { ord };
+                            return Ok(ord_ok(ord));
+                        }
+                    }
+                }
+                let x = self.string_value(a);
+                let y = self.string_value(b);
+                Ok(ord_ok(x.cmp(&y)))
+            }
+            _ => {
+                let x = self.string_value(a);
+                let y = self.string_value(b);
+                Ok(ord_ok(x.cmp(&y)))
+            }
+        }
+    }
+
+    // ---- functions ----------------------------------------------------
+
+    fn call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        env: &mut Env,
+        ctx: &Ctx,
+    ) -> Result<Sequence, QueryError> {
+        let eval_arg = |n: usize, env: &mut Env| -> Result<Sequence, QueryError> {
+            args.get(n)
+                .map(|e| self.eval(e, env, ctx))
+                .unwrap_or_else(|| err(format!("{name}() missing argument {n}")))
+        };
+        match name {
+            "document" | "doc" => {
+                // Single-document engine: document(*) is the root.
+                Ok(self.repo.root().map(Item::Node).into_iter().collect())
+            }
+            "count" => {
+                let s = eval_arg(0, env)?;
+                Ok(vec![Item::Num(s.len() as f64)])
+            }
+            "sum" | "avg" | "min" | "max" => {
+                let s = eval_arg(0, env)?;
+                let nums: Vec<f64> =
+                    self.atomize_all(&s).iter().map(|i| self.num_value(i)).collect();
+                if nums.is_empty() {
+                    return Ok(if name == "sum" { vec![Item::Num(0.0)] } else { vec![] });
+                }
+                let v = match name {
+                    "sum" => nums.iter().sum(),
+                    "avg" => nums.iter().sum::<f64>() / nums.len() as f64,
+                    "min" => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                    _ => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                };
+                Ok(vec![Item::Num(v)])
+            }
+            "not" => {
+                let s = eval_arg(0, env)?;
+                Ok(vec![Item::Bool(!effective_boolean(&s))])
+            }
+            "empty" => {
+                let s = eval_arg(0, env)?;
+                Ok(vec![Item::Bool(s.is_empty())])
+            }
+            "exists" => {
+                let s = eval_arg(0, env)?;
+                Ok(vec![Item::Bool(!s.is_empty())])
+            }
+            "contains" => {
+                let hay = eval_arg(0, env)?;
+                let needle = eval_arg(1, env)?;
+                let n = needle.first().map(|i| self.string_value(i)).unwrap_or_default();
+                // Substring match requires plaintext (§2.1: wildcard
+                // operations decompress).
+                let found = hay.iter().any(|h| self.string_value(h).contains(&n));
+                Ok(vec![Item::Bool(found)])
+            }
+            "starts-with" => {
+                let s = eval_arg(0, env)?;
+                let p = eval_arg(1, env)?;
+                let prefix = p.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let atoms = self.atomize_all(&s);
+                let Some(first) = atoms.first() else { return Ok(vec![Item::Bool(false)]) };
+                // Prefix match in the compressed domain when supported
+                // (Huffman's `wild` property).
+                if let Item::Comp { container, bytes } = first {
+                    let c = self.repo.container(*container);
+                    if let Some(m) = c.codec().prefix_match(bytes, prefix.as_bytes()) {
+                        self.stats.borrow_mut().compressed_cmp += 1;
+                        return Ok(vec![Item::Bool(m)]);
+                    }
+                }
+                Ok(vec![Item::Bool(self.string_value(first).starts_with(&prefix))])
+            }
+            "zero-or-one" => {
+                let s = eval_arg(0, env)?;
+                if s.len() > 1 {
+                    return err("zero-or-one() with more than one item");
+                }
+                Ok(s)
+            }
+            "string" => {
+                let s = eval_arg(0, env)?;
+                Ok(s.first()
+                    .map(|i| Item::Str(Rc::from(self.string_value(i).as_str())))
+                    .into_iter()
+                    .collect())
+            }
+            "number" => {
+                let s = eval_arg(0, env)?;
+                Ok(vec![Item::Num(s.first().map(|i| self.num_value(i)).unwrap_or(f64::NAN))])
+            }
+            "string-length" => {
+                let s = eval_arg(0, env)?;
+                let len = s.first().map(|i| self.string_value(i).chars().count()).unwrap_or(0);
+                Ok(vec![Item::Num(len as f64)])
+            }
+            "concat" => {
+                let mut out = String::new();
+                for i in 0..args.len() {
+                    let s = eval_arg(i, env)?;
+                    if let Some(item) = s.first() {
+                        out.push_str(&self.string_value(item));
+                    }
+                }
+                Ok(vec![Item::Str(Rc::from(out.as_str()))])
+            }
+            "round" => {
+                let s = eval_arg(0, env)?;
+                Ok(s.first().map(|i| Item::Num(self.num_value(i).round())).into_iter().collect())
+            }
+            "distinct-values" => {
+                let s = eval_arg(0, env)?;
+                let atoms = self.atomize_all(&s);
+                // Pass 1: deduplicate compressed values on their bytes —
+                // identical strings from one source model compress
+                // identically, so no decompression is needed yet.
+                let mut seen_bytes: HashSet<(ContainerId, Vec<u8>)> = HashSet::new();
+                let mut survivors: Vec<Item> = Vec::new();
+                let mut sources: HashSet<ContainerId> = HashSet::new();
+                let mut any_plain = false;
+                for item in atoms {
+                    match &item {
+                        Item::Comp { container, bytes } => {
+                            sources.insert(*container);
+                            if seen_bytes.insert((*container, bytes.to_vec())) {
+                                survivors.push(item);
+                            }
+                        }
+                        other => {
+                            any_plain = true;
+                            survivors.push(other.clone());
+                        }
+                    }
+                }
+                if sources.len() <= 1 && !any_plain {
+                    return Ok(survivors);
+                }
+                // Pass 2: values drawn from several models (or mixed with
+                // plain strings) must be compared decompressed — but only
+                // one decompression per *distinct* compressed value.
+                let mut seen_str: HashSet<String> = HashSet::new();
+                let mut out = Vec::new();
+                for item in survivors {
+                    if seen_str.insert(self.string_value(&item)) {
+                        out.push(item);
+                    }
+                }
+                Ok(out)
+            }
+            "substring" => {
+                let s = eval_arg(0, env)?;
+                let text = s.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let start = eval_arg(1, env)?.first().map(|i| self.num_value(i)).unwrap_or(1.0);
+                let len = if args.len() > 2 {
+                    eval_arg(2, env)?.first().map(|i| self.num_value(i)).unwrap_or(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                let chars: Vec<char> = text.chars().collect();
+                let from = (start.round().max(1.0) as usize).saturating_sub(1);
+                let take = if len.is_finite() {
+                    // XPath: positions in [round(start), round(start)+round(len)).
+                    ((start.round() + len.round()).max(1.0) as usize).saturating_sub(from + 1)
+                } else {
+                    usize::MAX
+                };
+                let out: String = chars.into_iter().skip(from).take(take).collect();
+                Ok(vec![Item::Str(Rc::from(out.as_str()))])
+            }
+            "upper-case" | "lower-case" => {
+                let s = eval_arg(0, env)?;
+                let text = s.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let out =
+                    if name == "upper-case" { text.to_uppercase() } else { text.to_lowercase() };
+                Ok(vec![Item::Str(Rc::from(out.as_str()))])
+            }
+            "normalize-space" => {
+                let s = eval_arg(0, env)?;
+                let text = s.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let out = text.split_whitespace().collect::<Vec<_>>().join(" ");
+                Ok(vec![Item::Str(Rc::from(out.as_str()))])
+            }
+            "string-join" => {
+                let s = eval_arg(0, env)?;
+                let sep = if args.len() > 1 {
+                    eval_arg(1, env)?.first().map(|i| self.string_value(i)).unwrap_or_default()
+                } else {
+                    String::new()
+                };
+                let parts: Vec<String> = s.iter().map(|i| self.string_value(i)).collect();
+                Ok(vec![Item::Str(Rc::from(parts.join(&sep).as_str()))])
+            }
+            "abs" | "floor" | "ceiling" => {
+                let s = eval_arg(0, env)?;
+                Ok(s.first()
+                    .map(|i| {
+                        let n = self.num_value(i);
+                        Item::Num(match name {
+                            "abs" => n.abs(),
+                            "floor" => n.floor(),
+                            _ => n.ceil(),
+                        })
+                    })
+                    .into_iter()
+                    .collect())
+            }
+            "name" => {
+                let s = eval_arg(0, env)?;
+                match s.first() {
+                    Some(Item::Node(n)) => Ok(vec![Item::Str(Rc::from(
+                        self.repo.dict.name(self.repo.tree.tag(*n)),
+                    ))]),
+                    Some(Item::Tree(t)) => Ok(vec![Item::Str(Rc::from(t.tag.as_str()))]),
+                    _ => Ok(vec![]),
+                }
+            }
+            other => err(format!("unknown function {other}()")),
+        }
+    }
+
+    // ---- string/number views -------------------------------------------
+
+    /// Decompress a container value (counted).
+    fn decompress(&self, container: ContainerId, bytes: &[u8]) -> String {
+        self.stats.borrow_mut().decompressions += 1;
+        String::from_utf8(self.repo.container(container).codec().decompress(bytes))
+            .expect("container values are UTF-8")
+    }
+
+    /// The XPath string value of an item.
+    pub fn string_value(&self, item: &Item) -> String {
+        match item {
+            Item::Str(s) => s.to_string(),
+            Item::Num(n) => format_number(*n),
+            Item::Bool(b) => b.to_string(),
+            Item::Comp { container, bytes } => self.decompress(*container, bytes),
+            Item::Node(n) => {
+                let mut out = String::new();
+                self.node_text(*n, &mut out);
+                out
+            }
+            Item::Tree(f) => {
+                let mut out = String::new();
+                self.fragment_text(f, &mut out);
+                out
+            }
+        }
+    }
+
+    fn node_text(&self, n: ElemId, out: &mut String) {
+        for vr in self.repo.tree.values(n) {
+            let c = self.repo.container(vr.container);
+            if matches!(c.leaf, ContainerLeaf::Text) {
+                out.push_str(&self.read_value(vr.container, vr.index));
+            }
+        }
+        for child in self.repo.tree.children(n, None) {
+            self.node_text(child, out);
+        }
+    }
+
+    fn fragment_text(&self, f: &Fragment, out: &mut String) {
+        for child in &f.children {
+            for item in child {
+                match item {
+                    Item::Tree(t) => self.fragment_text(t, out),
+                    Item::Node(n) => self.node_text(*n, out),
+                    other => out.push_str(&self.string_value(other)),
+                }
+            }
+        }
+    }
+
+    /// Numeric value of an item (NaN when not a number).
+    pub fn num_value(&self, item: &Item) -> f64 {
+        match item {
+            Item::Num(n) => *n,
+            Item::Bool(b) => f64::from(*b),
+            other => self.string_value(other).trim().parse().unwrap_or(f64::NAN),
+        }
+    }
+
+    // ---- serialization (XMLSerialize + final Decompress) ----------------
+
+    /// Serialize a result sequence to XML text.
+    pub fn serialize(&self, seq: &Sequence) -> String {
+        let mut out = String::new();
+        let mut prev_atomic = false;
+        for item in seq {
+            let atomic = !item.is_node();
+            if atomic && prev_atomic {
+                out.push(' ');
+            }
+            self.serialize_item(item, &mut out);
+            prev_atomic = atomic;
+        }
+        out
+    }
+
+    fn serialize_item(&self, item: &Item, out: &mut String) {
+        match item {
+            Item::Node(n) => self.serialize_element(*n, out),
+            Item::Tree(f) => self.serialize_fragment(f, out),
+            other => out.push_str(&xquec_xml::escape::escape_text(&self.string_value(other))),
+        }
+    }
+
+    /// Reconstruct an element subtree from the compressed repository.
+    pub fn serialize_element(&self, n: ElemId, out: &mut String) {
+        let tag = self.repo.dict.name(self.repo.tree.tag(n));
+        out.push('<');
+        out.push_str(tag);
+        let mut texts: Vec<String> = Vec::new();
+        for vr in self.repo.tree.values(n) {
+            let c = self.repo.container(vr.container);
+            match c.leaf {
+                ContainerLeaf::Attribute(code) => {
+                    let _ = write!(
+                        out,
+                        " {}=\"{}\"",
+                        self.repo.dict.name(code),
+                        xquec_xml::escape::escape_attr(&self.read_value(vr.container, vr.index))
+                    );
+                }
+                ContainerLeaf::Text => {
+                    texts.push(self.read_value(vr.container, vr.index));
+                }
+            }
+        }
+        let children: Vec<ElemId> = self.repo.tree.children(n, None).collect();
+        if texts.is_empty() && children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for t in &texts {
+            out.push_str(&xquec_xml::escape::escape_text(t));
+        }
+        for c in children {
+            self.serialize_element(c, out);
+        }
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+    }
+
+    fn serialize_fragment(&self, f: &Fragment, out: &mut String) {
+        out.push('<');
+        out.push_str(&f.tag);
+        for (name, value) in &f.attrs {
+            let text: Vec<String> = value.iter().map(|i| self.string_value(i)).collect();
+            let _ = write!(out, " {}=\"{}\"", name, xquec_xml::escape::escape_attr(&text.join(" ")));
+        }
+        if f.children.iter().all(|c| c.is_empty()) {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in &f.children {
+            let mut prev_atomic = false;
+            for item in child {
+                let atomic = !item.is_node();
+                if atomic && prev_atomic {
+                    out.push(' ');
+                }
+                self.serialize_item(item, out);
+                prev_atomic = atomic;
+            }
+        }
+        out.push_str("</");
+        out.push_str(&f.tag);
+        out.push('>');
+    }
+}
+
+// ---- helpers -------------------------------------------------------------
+
+/// Split an `and`-tree into conjuncts.
+fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Decompose `path op const` (either orientation) for index pushdown.
+fn split_cmp_const(e: &Expr) -> Option<(CmpOp, &PathExpr, &Expr)> {
+    let Expr::Cmp(op, l, r) = e else { return None };
+    match (&**l, &**r) {
+        (Expr::Path(p), k @ (Expr::Str(_) | Expr::Num(_))) => Some((*op, p, k)),
+        (k @ (Expr::Str(_) | Expr::Num(_)), Expr::Path(p)) => Some((op.flip(), p, k)),
+        _ => None,
+    }
+}
+
+/// Does the expression reference the given variable?
+fn refs_var(e: &Expr, var: &str) -> bool {
+    let mut found = false;
+    walk(e, &mut |x| {
+        match x {
+            Expr::Var(v) if v == var => found = true,
+            Expr::Path(PathExpr { root: PathRoot::Var(v), .. }) if v == var => found = true,
+            _ => {}
+        }
+    });
+    found
+}
+
+/// Does the expression reference any variable currently bound in `env`?
+fn refs_env(e: &Expr, env: &Env) -> bool {
+    let mut found = false;
+    walk(e, &mut |x| {
+        let name = match x {
+            Expr::Var(v) => Some(v),
+            Expr::Path(PathExpr { root: PathRoot::Var(v), .. }) => Some(v),
+            _ => None,
+        };
+        if let Some(v) = name {
+            if env.iter().any(|(n, _)| n == v) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Does the expression reference any free variable other than `var`?
+fn refs_any_free(e: &Expr, var: &str) -> bool {
+    let mut found = false;
+    walk(e, &mut |x| {
+        let name = match x {
+            Expr::Var(v) => Some(v),
+            Expr::Path(PathExpr { root: PathRoot::Var(v), .. }) => Some(v),
+            _ => None,
+        };
+        if let Some(v) = name {
+            if v != var {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn walk(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Flwor(clauses, ret) => {
+            for c in clauses {
+                match c {
+                    Clause::For(_, x) | Clause::Let(_, x) | Clause::Where(x) => walk(x, f),
+                    Clause::OrderBy(x, _) => walk(x, f),
+                }
+            }
+            walk(ret, f);
+        }
+        Expr::If(a, b, c) => {
+            walk(a, f);
+            walk(b, f);
+            walk(c, f);
+        }
+        Expr::Some { source, satisfies, .. } => {
+            walk(source, f);
+            walk(satisfies, f);
+        }
+        Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::Cmp(_, a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::Union(a, b) => {
+            walk(a, f);
+            walk(b, f);
+        }
+        Expr::Neg(a) => walk(a, f),
+        Expr::Call(_, args) | Expr::Seq(args) => {
+            for a in args {
+                walk(a, f);
+            }
+        }
+        Expr::Elem(c) => {
+            for (_, a) in &c.attrs {
+                walk(a, f);
+            }
+            for ch in &c.children {
+                walk(ch, f);
+            }
+        }
+        Expr::Path(p) => {
+            for s in &p.steps {
+                for pred in &s.predicates {
+                    if let StepPredicate::Filter(x) = pred {
+                        walk(x, f);
+                    }
+                }
+            }
+        }
+        Expr::Var(_) | Expr::Str(_) | Expr::Num(_) => {}
+    }
+}
+
+/// XPath-style number formatting (integers without a decimal point).
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn compare_order_keys(a: Option<&str>, b: Option<&str>) -> std::cmp::Ordering {
+    match (a, b) {
+        (Some(x), Some(y)) => match (x.parse::<f64>(), y.parse::<f64>()) {
+            (Ok(nx), Ok(ny)) => nx.partial_cmp(&ny).unwrap_or(std::cmp::Ordering::Equal),
+            _ => x.cmp(y),
+        },
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, _) => std::cmp::Ordering::Less,
+        (_, None) => std::cmp::Ordering::Greater,
+    }
+}

@@ -1,0 +1,336 @@
+//! Tokenizer for the XQuery subset.
+//!
+//! Keywords are matched case-insensitively (the paper writes FLWOR keywords
+//! in upper case: `FOR $i IN … WHERE … RETURN`). `<` is tokenized as a
+//! comparison or as a constructor opener depending on what follows, the
+//! standard XQuery ambiguity resolved by one character of lookahead.
+
+use std::fmt;
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the query text.
+    pub offset: usize,
+    /// Kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (stored lower-case): for let where return in if then else
+    /// order by descending ascending some satisfies and or div mod
+    Keyword(String),
+    /// Identifier / NCName (case preserved).
+    Name(String),
+    /// `$name`.
+    Var(String),
+    /// String literal (quotes removed, no escapes inside beyond doubled quotes).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// One of `( ) [ ] { } , / // @ * + - = != < <= > >= := . .. | </ />`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "keyword `{k}`"),
+            TokenKind::Name(n) => write!(f, "name `{n}`"),
+            TokenKind::Var(v) => write!(f, "variable `${v}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Num(n) => write!(f, "number {n}"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of query"),
+        }
+    }
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+const KEYWORDS: &[&str] = &[
+    "for", "let", "where", "return", "in", "if", "then", "else", "order", "by", "descending",
+    "ascending", "some", "every", "satisfies", "and", "or", "div", "mod",
+];
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.')
+}
+
+/// Tokenize a query. The element-constructor contents are *not* lexed here;
+/// the parser re-enters raw text mode for constructor bodies using the
+/// offsets carried on tokens.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments (: … :)
+        if c == b'(' && b.get(i + 1) == Some(&b':') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j + 1 < b.len() && depth > 0 {
+                if b[j] == b'(' && b[j + 1] == b':' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b':' && b[j + 1] == b')' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(LexError { offset: i, message: "unterminated comment".into() });
+            }
+            i = j;
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            b'$' => {
+                i += 1;
+                let s = i;
+                while i < b.len() && is_name_char(b[i]) {
+                    i += 1;
+                }
+                if s == i {
+                    return Err(LexError { offset: start, message: "expected variable name after $".into() });
+                }
+                TokenKind::Var(src[s..i].to_owned())
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&q) if q == quote => {
+                            // Doubled quote escapes itself.
+                            if b.get(i + 1) == Some(&quote) {
+                                text.push(quote as char);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            text.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                TokenKind::Str(text)
+            }
+            b'0'..=b'9' => {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let n: f64 = src[start..i]
+                    .parse()
+                    .map_err(|_| LexError { offset: start, message: "bad number".into() })?;
+                TokenKind::Num(n)
+            }
+            _ if is_name_start(c) => {
+                while i < b.len() && is_name_char(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let lower = word.to_ascii_lowercase();
+                if KEYWORDS.contains(&lower.as_str()) {
+                    TokenKind::Keyword(lower)
+                } else {
+                    TokenKind::Name(word.to_owned())
+                }
+            }
+            b':' if b.get(i + 1) == Some(&b'=') => {
+                i += 2;
+                TokenKind::Punct(":=")
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                i += 2;
+                TokenKind::Punct("!=")
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Punct("<=")
+                } else if b.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    TokenKind::Punct("</")
+                } else {
+                    i += 1;
+                    TokenKind::Punct("<")
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Punct(">=")
+                } else {
+                    i += 1;
+                    TokenKind::Punct(">")
+                }
+            }
+            b'/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    TokenKind::Punct("//")
+                } else if b.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Punct("/>")
+                } else {
+                    i += 1;
+                    TokenKind::Punct("/")
+                }
+            }
+            b'(' => {
+                i += 1;
+                TokenKind::Punct("(")
+            }
+            b')' => {
+                i += 1;
+                TokenKind::Punct(")")
+            }
+            b'[' => {
+                i += 1;
+                TokenKind::Punct("[")
+            }
+            b']' => {
+                i += 1;
+                TokenKind::Punct("]")
+            }
+            b'{' => {
+                i += 1;
+                TokenKind::Punct("{")
+            }
+            b'}' => {
+                i += 1;
+                TokenKind::Punct("}")
+            }
+            b',' => {
+                i += 1;
+                TokenKind::Punct(",")
+            }
+            b'@' => {
+                i += 1;
+                TokenKind::Punct("@")
+            }
+            b'*' => {
+                i += 1;
+                TokenKind::Punct("*")
+            }
+            b'+' => {
+                i += 1;
+                TokenKind::Punct("+")
+            }
+            b'-' => {
+                i += 1;
+                TokenKind::Punct("-")
+            }
+            b'=' => {
+                i += 1;
+                TokenKind::Punct("=")
+            }
+            b'.' => {
+                if b.get(i + 1) == Some(&b'.') {
+                    i += 2;
+                    TokenKind::Punct("..")
+                } else {
+                    i += 1;
+                    TokenKind::Punct(".")
+                }
+            }
+            b'|' => {
+                i += 1;
+                TokenKind::Punct("|")
+            }
+            other => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        out.push(Token { offset: start, kind });
+    }
+    out.push(Token { offset: src.len(), kind: TokenKind::Eof });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn flwor_tokens() {
+        let k = kinds("FOR $i IN document(\"a.xml\")/site RETURN $i");
+        assert_eq!(k[0], TokenKind::Keyword("for".into()));
+        assert_eq!(k[1], TokenKind::Var("i".into()));
+        assert_eq!(k[2], TokenKind::Keyword("in".into()));
+        assert_eq!(k[3], TokenKind::Name("document".into()));
+        assert!(matches!(&k[5], TokenKind::Str(s) if s == "a.xml"));
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("a <= b >= c != d := e // f");
+        assert!(k.contains(&TokenKind::Punct("<=")));
+        assert!(k.contains(&TokenKind::Punct(">=")));
+        assert!(k.contains(&TokenKind::Punct("!=")));
+        assert!(k.contains(&TokenKind::Punct(":=")));
+        assert!(k.contains(&TokenKind::Punct("//")));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let k = kinds("42 3.25 'it''s'");
+        assert_eq!(k[0], TokenKind::Num(42.0));
+        assert_eq!(k[1], TokenKind::Num(3.25));
+        assert!(matches!(&k[2], TokenKind::Str(s) if s == "it's"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("1 (: a (: nested :) comment :) 2");
+        assert_eq!(k, vec![TokenKind::Num(1.0), TokenKind::Num(2.0), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("(: open").is_err());
+    }
+}

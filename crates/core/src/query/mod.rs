@@ -1,0 +1,18 @@
+//! The XQueC query processor (§4): parser, physical operators, executor.
+//!
+//! Entry point: [`Engine`], constructed over a loaded [`crate::Repository`].
+//! `Engine::run` parses a query, evaluates it in the compressed domain and
+//! serializes the result (the only phase that decompresses output values).
+
+pub mod ast;
+#[cfg(test)]
+mod engine_tests;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::Expr;
+pub use exec::{Engine, ExecStats, QueryError};
+pub use parser::{parse, ParseError};
+pub use value::{Item, Sequence};

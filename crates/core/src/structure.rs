@@ -1,0 +1,192 @@
+//! The structure tree (§2.2): one node record per element/attribute node.
+//!
+//! Each record carries its tag code, its children, (redundantly) its parent,
+//! its path-summary node, and pointers to its values in their containers —
+//! exactly the access structure the paper's `Parent` / `Child` /
+//! `TextContent` operators need. Ids are assigned in document order.
+
+use crate::ids::{ContainerId, ElemId, PathId, TagCode};
+
+/// Pointer from an element to one of its values inside a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueRef {
+    /// The container holding the value.
+    pub container: ContainerId,
+    /// Record index within that container.
+    pub index: u32,
+}
+
+/// One node record.
+#[derive(Debug, Clone)]
+pub struct NodeRecord {
+    /// Tag code of this element (attributes live in containers, not here).
+    pub tag: TagCode,
+    /// Parent element (None for the root).
+    pub parent: Option<ElemId>,
+    /// Child *elements* in document order.
+    pub children: Vec<ElemId>,
+    /// The structure-summary node this element belongs to.
+    pub path: PathId,
+    /// Pointers to this element's attribute and text values.
+    pub values: Vec<ValueRef>,
+}
+
+/// The structure tree: a flat arena of node records indexed by [`ElemId`].
+#[derive(Debug, Default, Clone)]
+pub struct StructureTree {
+    nodes: Vec<NodeRecord>,
+}
+
+impl StructureTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a node record (ids must be handed out in document order).
+    pub fn push(&mut self, tag: TagCode, parent: Option<ElemId>, path: PathId) -> ElemId {
+        let id = ElemId(self.nodes.len() as u32);
+        if let Some(p) = parent {
+            self.nodes[p.0 as usize].children.push(id);
+        }
+        self.nodes.push(NodeRecord { tag, parent, children: Vec::new(), path, values: Vec::new() });
+        id
+    }
+
+    /// Attach a value pointer to an element.
+    pub fn add_value(&mut self, elem: ElemId, vref: ValueRef) {
+        self.nodes[elem.0 as usize].values.push(vref);
+    }
+
+    /// Borrow a record.
+    pub fn node(&self, id: ElemId) -> &NodeRecord {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Tag code of a node.
+    pub fn tag(&self, id: ElemId) -> TagCode {
+        self.nodes[id.0 as usize].tag
+    }
+
+    /// Parent of a node (the paper's `Parent` operator primitive).
+    pub fn parent(&self, id: ElemId) -> Option<ElemId> {
+        self.nodes[id.0 as usize].parent
+    }
+
+    /// Children of a node, optionally filtered by tag (`Child` operator
+    /// primitive). Children are returned in document order.
+    pub fn children<'a>(
+        &'a self,
+        id: ElemId,
+        tag: Option<TagCode>,
+    ) -> impl Iterator<Item = ElemId> + 'a {
+        self.nodes[id.0 as usize]
+            .children
+            .iter()
+            .copied()
+            .filter(move |&c| tag.is_none_or(|t| self.nodes[c.0 as usize].tag == t))
+    }
+
+    /// Path-summary node of an element.
+    pub fn path(&self, id: ElemId) -> PathId {
+        self.nodes[id.0 as usize].path
+    }
+
+    /// Value pointers of an element.
+    pub fn values(&self, id: ElemId) -> &[ValueRef] {
+        &self.nodes[id.0 as usize].values
+    }
+
+    /// Descendant elements of `id` (excluding `id`), in document order.
+    /// Because ids are pre-order, this is the contiguous id range covered by
+    /// the subtree — we still walk explicitly to honour the tree shape.
+    pub fn descendants(&self, id: ElemId) -> Vec<ElemId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<ElemId> =
+            self.nodes[id.0 as usize].children.iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(self.nodes[n.0 as usize].children.iter().rev().copied());
+        }
+        out
+    }
+
+    /// Serialized size estimate in bytes of the node records.
+    ///
+    /// The on-disk layout stores, per node, the dictionary-coded tag (one
+    /// byte for the usual <=256 distinct names), plus parent and
+    /// next-sibling links as varint deltas against the pre-order id (ids
+    /// are dense pre-order, so deltas are small — ~2 bytes each); the child
+    /// list is recoverable from first-child/next-sibling. Value refs cost a
+    /// varint container code (~1) plus a varint record index (~3).
+    pub fn serialized_size(&self) -> usize {
+        self.nodes.iter().map(|n| 1 + 2 + 2 + 4 * n.values.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (StructureTree, Vec<ElemId>) {
+        // site(e0) -> people(e1) -> person(e2), person(e3); regions(e4)
+        let mut t = StructureTree::new();
+        let site = t.push(TagCode(0), None, PathId(0));
+        let people = t.push(TagCode(1), Some(site), PathId(1));
+        let p1 = t.push(TagCode(2), Some(people), PathId(2));
+        let p2 = t.push(TagCode(2), Some(people), PathId(2));
+        let regions = t.push(TagCode(3), Some(site), PathId(3));
+        (t, vec![site, people, p1, p2, regions])
+    }
+
+    #[test]
+    fn parent_child_navigation() {
+        let (t, ids) = sample();
+        assert_eq!(t.parent(ids[2]), Some(ids[1]));
+        assert_eq!(t.parent(ids[0]), None);
+        let kids: Vec<_> = t.children(ids[1], Some(TagCode(2))).collect();
+        assert_eq!(kids, vec![ids[2], ids[3]]);
+        let none: Vec<_> = t.children(ids[1], Some(TagCode(9))).collect();
+        assert!(none.is_empty());
+        let site_kids: Vec<_> = t.children(ids[0], None).collect();
+        assert_eq!(site_kids, vec![ids[1], ids[4]]);
+    }
+
+    #[test]
+    fn ids_are_document_order() {
+        let (t, ids) = sample();
+        // Pre-order property: parent id < child id.
+        for &id in &ids {
+            if let Some(p) = t.parent(id) {
+                assert!(p < id);
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let (t, ids) = sample();
+        let d = t.descendants(ids[0]);
+        assert_eq!(d, vec![ids[1], ids[2], ids[3], ids[4]]);
+        assert!(t.descendants(ids[2]).is_empty());
+    }
+
+    #[test]
+    fn value_refs() {
+        let (mut t, ids) = sample();
+        t.add_value(ids[2], ValueRef { container: ContainerId(0), index: 7 });
+        assert_eq!(t.values(ids[2]).len(), 1);
+        assert_eq!(t.values(ids[2])[0].index, 7);
+        assert!(t.values(ids[3]).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! The query workload `W` and its comparison matrices `E`, `I`, `D` (§3.2).
+//!
+//! The matrices are `(|C|+1) × (|C|+1)`: entry `[i][j]` counts the equality
+//! (E), inequality (I) or prefix-matching (D) predicates between containers
+//! `i` and `j`; row/column `|C|` stands for comparisons with constants.
+
+use crate::ids::ContainerId;
+
+/// Predicate class, matching the three matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredOp {
+    /// Equality without prefix matching (counts into `E`).
+    Eq,
+    /// Inequality `< <= > >=` (counts into `I`).
+    Ineq,
+    /// Prefix-matching equality, e.g. `starts-with` (counts into `D`).
+    Wild,
+}
+
+/// One value-comparison predicate of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Left container.
+    pub left: ContainerId,
+    /// Right container, or `None` for a constant.
+    pub right: Option<ContainerId>,
+    /// Predicate class.
+    pub op: PredOp,
+}
+
+/// The workload: the multiset of value-comparison predicates in `W`.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// All predicates, in extraction order.
+    pub predicates: Vec<Predicate>,
+}
+
+/// The E/I/D matrices.
+#[derive(Debug, Clone)]
+pub struct Matrices {
+    /// Equality counts.
+    pub e: Vec<Vec<u32>>,
+    /// Inequality counts.
+    pub i: Vec<Vec<u32>>,
+    /// Prefix-match counts.
+    pub d: Vec<Vec<u32>>,
+    /// Number of containers (matrix side is `n + 1`).
+    pub n: usize,
+}
+
+impl Workload {
+    /// Empty workload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a predicate.
+    pub fn push(&mut self, left: ContainerId, right: Option<ContainerId>, op: PredOp) {
+        self.predicates.push(Predicate { left, right, op });
+    }
+
+    /// Containers referenced by at least one predicate. Containers outside
+    /// this set "do not incur a cost so they can be disregarded in the cost
+    /// model" (§3.2) and default to block compression (§3.3).
+    pub fn touched(&self) -> Vec<ContainerId> {
+        let mut v: Vec<ContainerId> = self
+            .predicates
+            .iter()
+            .flat_map(|p| [Some(p.left), p.right].into_iter().flatten())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Build the E/I/D matrices over `n` containers.
+    pub fn matrices(&self, n: usize) -> Matrices {
+        let side = n + 1;
+        let mut e = vec![vec![0u32; side]; side];
+        let mut i = vec![vec![0u32; side]; side];
+        let mut d = vec![vec![0u32; side]; side];
+        for p in &self.predicates {
+            let a = p.left.0 as usize;
+            let b = p.right.map_or(n, |c| c.0 as usize);
+            let m = match p.op {
+                PredOp::Eq => &mut e,
+                PredOp::Ineq => &mut i,
+                PredOp::Wild => &mut d,
+            };
+            m[a][b] += 1;
+            if a != b {
+                m[b][a] += 1; // the matrices are symmetric
+            }
+        }
+        Matrices { e, i, d, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrices_symmetric_with_constant_column() {
+        let mut w = Workload::new();
+        w.push(ContainerId(0), Some(ContainerId(1)), PredOp::Eq);
+        w.push(ContainerId(0), None, PredOp::Ineq);
+        w.push(ContainerId(2), None, PredOp::Wild);
+        w.push(ContainerId(0), Some(ContainerId(1)), PredOp::Eq);
+        let m = w.matrices(3);
+        assert_eq!(m.e[0][1], 2);
+        assert_eq!(m.e[1][0], 2);
+        assert_eq!(m.i[0][3], 1); // constant column
+        assert_eq!(m.i[3][0], 1);
+        assert_eq!(m.d[2][3], 1);
+        assert_eq!(m.e[0][0], 0);
+    }
+
+    #[test]
+    fn touched_containers() {
+        let mut w = Workload::new();
+        w.push(ContainerId(2), None, PredOp::Eq);
+        w.push(ContainerId(0), Some(ContainerId(2)), PredOp::Ineq);
+        assert_eq!(w.touched(), vec![ContainerId(0), ContainerId(2)]);
+    }
+
+    #[test]
+    fn self_comparison_counts_once() {
+        let mut w = Workload::new();
+        w.push(ContainerId(1), Some(ContainerId(1)), PredOp::Ineq);
+        let m = w.matrices(2);
+        assert_eq!(m.i[1][1], 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! A disk-resident B+tree with variable-length byte keys and values.
+//!
+//! This is the ordered access path of the repository: the paper builds "a B+
+//! search tree on top of the sequence of node records" (§2.2) and describes
+//! containers as "closely resembl[ing] B+trees on values". Nodes are
+//! (de)serialized whole from pages through the buffer pool — simple,
+//! correct, and plenty fast for the evaluation workloads. Leaves are chained
+//! for range scans. Deletion removes from the leaf without rebalancing
+//! (underfull leaves are tolerated), which is sufficient for a load-once
+//! repository.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Maximum key length in bytes.
+pub const MAX_KEY: usize = 1024;
+/// Maximum value length in bytes.
+pub const MAX_VALUE: usize = 2048;
+
+const LEAF_TAG: u8 = 1;
+const INTERNAL_TAG: u8 = 2;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { entries: Vec<(Vec<u8>, Vec<u8>)>, next: Option<PageId> },
+    Internal { keys: Vec<Vec<u8>>, children: Vec<PageId> },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                11 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+            }
+            Node::Internal { keys, children } => {
+                3 + 8 * children.len() + keys.iter().map(|k| 2 + k.len()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// A B+tree rooted at a page.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree, allocating its root leaf.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let root = pool.allocate()?;
+        let tree = BTree { pool, root };
+        tree.write_node(root, &Node::Leaf { entries: Vec::new(), next: None })?;
+        Ok(tree)
+    }
+
+    /// Open an existing tree by its root page.
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> Self {
+        BTree { pool, root }
+    }
+
+    /// The current root page id (persist this in a catalog).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Insert or replace; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        if key.len() > MAX_KEY {
+            return Err(StorageError::RecordTooLarge { size: key.len(), max: MAX_KEY });
+        }
+        if value.len() > MAX_VALUE {
+            return Err(StorageError::RecordTooLarge { size: value.len(), max: MAX_VALUE });
+        }
+        let (old, split) = self.insert_rec(self.root, key, value)?;
+        if let Some((sep, right)) = split {
+            // Grow a new root.
+            let new_root = self.pool.allocate()?;
+            let node = Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+            self.write_node(new_root, &node)?;
+            self.root = new_root;
+        }
+        Ok(old)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+            }
+        }
+    }
+
+    /// Remove a key; returns the removed value. Leaves may become underfull.
+    pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { mut entries, next } => {
+                    let pos = entries.iter().position(|(k, _)| k.as_slice() == key);
+                    return match pos {
+                        Some(i) => {
+                            let (_, v) = entries.remove(i);
+                            self.write_node(page, &Node::Leaf { entries, next })?;
+                            Ok(Some(v))
+                        }
+                        None => Ok(None),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Iterate entries with `key >= start` in ascending key order.
+    pub fn range_from(&self, start: &[u8]) -> Result<BTreeIter<'_>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= start);
+                    page = children[idx];
+                }
+                Node::Leaf { entries, next } => {
+                    let pos = entries.partition_point(|(k, _)| k.as_slice() < start);
+                    return Ok(BTreeIter {
+                        tree: self,
+                        entries,
+                        pos,
+                        next,
+                        error: None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Iterate all entries in key order.
+    pub fn iter(&self) -> Result<BTreeIter<'_>> {
+        self.range_from(&[])
+    }
+
+    /// Number of entries (walks the leaf chain).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0usize;
+        for e in self.iter()? {
+            e?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.iter()?.next().is_none())
+    }
+
+    fn insert_rec(
+        &self,
+        page: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Option<(Vec<u8>, PageId)>)> {
+        match self.read_node(page)? {
+            Node::Leaf { mut entries, next } => {
+                let pos = entries.partition_point(|(k, _)| k.as_slice() < key);
+                let old = if entries.get(pos).is_some_and(|(k, _)| k.as_slice() == key) {
+                    Some(std::mem::replace(&mut entries[pos].1, value.to_vec()))
+                } else {
+                    entries.insert(pos, (key.to_vec(), value.to_vec()));
+                    None
+                };
+                let node = Node::Leaf { entries, next };
+                if node.serialized_size() <= PAGE_SIZE {
+                    self.write_node(page, &node)?;
+                    return Ok((old, None));
+                }
+                // Split the leaf.
+                let Node::Leaf { mut entries, next } = node else { unreachable!() };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right = self.pool.allocate()?;
+                self.write_node(right, &Node::Leaf { entries: right_entries, next })?;
+                self.write_node(page, &Node::Leaf { entries, next: Some(right) })?;
+                Ok((old, Some((sep, right))))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let (old, split) = self.insert_rec(children[idx], key, value)?;
+                if let Some((sep, new_child)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, new_child);
+                }
+                let node = Node::Internal { keys, children };
+                if node.serialized_size() <= PAGE_SIZE {
+                    self.write_node(page, &node)?;
+                    return Ok((old, None));
+                }
+                let Node::Internal { mut keys, mut children } = node else { unreachable!() };
+                let mid = keys.len() / 2;
+                let sep = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // the separator moves up
+                let right_children = children.split_off(mid + 1);
+                let right = self.pool.allocate()?;
+                self.write_node(right, &Node::Internal { keys: right_keys, children: right_children })?;
+                self.write_node(page, &Node::Internal { keys, children })?;
+                Ok((old, Some((sep, right))))
+            }
+        }
+    }
+
+    fn read_node(&self, id: PageId) -> Result<Node> {
+        self.pool.with_page(id, |p| -> Result<Node> {
+            match p.bytes()[0] {
+                LEAF_TAG => {
+                    let n = p.get_u16(1) as usize;
+                    let next_raw = p.get_u64(3);
+                    let next = if next_raw == u64::MAX { None } else { Some(PageId(next_raw)) };
+                    let mut off = 11usize;
+                    let mut entries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let klen = p.get_u16(off) as usize;
+                        let vlen = p.get_u16(off + 2) as usize;
+                        off += 4;
+                        let k = p.slice(off, klen).to_vec();
+                        off += klen;
+                        let v = p.slice(off, vlen).to_vec();
+                        off += vlen;
+                        entries.push((k, v));
+                    }
+                    Ok(Node::Leaf { entries, next })
+                }
+                INTERNAL_TAG => {
+                    let n = p.get_u16(1) as usize;
+                    let mut off = 3usize;
+                    let mut children = Vec::with_capacity(n + 1);
+                    for _ in 0..=n {
+                        children.push(PageId(p.get_u64(off)));
+                        off += 8;
+                    }
+                    let mut keys = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let klen = p.get_u16(off) as usize;
+                        off += 2;
+                        keys.push(p.slice(off, klen).to_vec());
+                        off += klen;
+                    }
+                    Ok(Node::Internal { keys, children })
+                }
+                // A freshly allocated zero page reads as an empty leaf.
+                0 => Ok(Node::Leaf { entries: Vec::new(), next: None }),
+                tag => Err(StorageError::Corrupt(format!("unknown node tag {tag}"))),
+            }
+        })?
+    }
+
+    fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        debug_assert!(node.serialized_size() <= PAGE_SIZE, "node overflows page");
+        self.pool.with_page_mut(id, |p| {
+            match node {
+                Node::Leaf { entries, next } => {
+                    p.bytes_mut()[0] = LEAF_TAG;
+                    p.put_u16(1, entries.len() as u16);
+                    p.put_u64(3, next.map_or(u64::MAX, |n| n.0));
+                    let mut off = 11usize;
+                    for (k, v) in entries {
+                        p.put_u16(off, k.len() as u16);
+                        p.put_u16(off + 2, v.len() as u16);
+                        off += 4;
+                        p.write_at(off, k);
+                        off += k.len();
+                        p.write_at(off, v);
+                        off += v.len();
+                    }
+                }
+                Node::Internal { keys, children } => {
+                    p.bytes_mut()[0] = INTERNAL_TAG;
+                    p.put_u16(1, keys.len() as u16);
+                    let mut off = 3usize;
+                    for c in children {
+                        p.put_u64(off, c.0);
+                        off += 8;
+                    }
+                    for k in keys {
+                        p.put_u16(off, k.len() as u16);
+                        off += 2;
+                        p.write_at(off, k);
+                        off += k.len();
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Ascending iterator over `(key, value)` pairs.
+pub struct BTreeIter<'a> {
+    tree: &'a BTree,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    pos: usize,
+    next: Option<PageId>,
+    error: Option<StorageError>,
+}
+
+impl Iterator for BTreeIter<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.error.take() {
+            return Some(Err(e));
+        }
+        loop {
+            if self.pos < self.entries.len() {
+                let item = self.entries[self.pos].clone();
+                self.pos += 1;
+                return Some(Ok(item));
+            }
+            let next = self.next?;
+            match self.tree.read_node(next) {
+                Ok(Node::Leaf { entries, next }) => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.next = next;
+                }
+                Ok(_) => return Some(Err(StorageError::Corrupt("leaf chain hit internal".into()))),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn tree() -> BTree {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        BTree::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = tree();
+        assert_eq!(t.insert(b"b", b"2").unwrap(), None);
+        assert_eq!(t.insert(b"a", b"1").unwrap(), None);
+        assert_eq!(t.insert(b"c", b"3").unwrap(), None);
+        assert_eq!(t.get(b"a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(t.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(t.get(b"z").unwrap(), None);
+        assert_eq!(t.insert(b"b", b"22").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(t.get(b"b").unwrap().as_deref(), Some(&b"22"[..]));
+    }
+
+    #[test]
+    fn many_inserts_with_splits() {
+        let mut t = tree();
+        let n = 5_000u32;
+        // Insert in a scrambled order.
+        for i in 0..n {
+            let k = ((i as u64 * 2_654_435_761) % n as u64) as u32;
+            t.insert(format!("key{k:08}").as_bytes(), format!("val{k}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), n as usize);
+        for k in [0u32, 1, n / 2, n - 1] {
+            assert_eq!(
+                t.get(format!("key{k:08}").as_bytes()).unwrap(),
+                Some(format!("val{k}").into_bytes())
+            );
+        }
+        // Full scan is sorted.
+        let keys: Vec<Vec<u8>> = t.iter().unwrap().map(|e| e.unwrap().0).collect();
+        assert_eq!(keys.len(), n as usize);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn range_scan_from() {
+        let mut t = tree();
+        for i in 0..100u32 {
+            t.insert(format!("{i:04}").as_bytes(), b"v").unwrap();
+        }
+        let got: Vec<Vec<u8>> =
+            t.range_from(b"0090").unwrap().map(|e| e.unwrap().0).collect();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0], b"0090");
+        // Start key between entries.
+        let got: Vec<Vec<u8>> =
+            t.range_from(b"0089x").unwrap().map(|e| e.unwrap().0).collect();
+        assert_eq!(got[0], b"0090");
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut t = tree();
+        for i in 0..500u32 {
+            t.insert(format!("{i:04}").as_bytes(), format!("{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.delete(b"0250").unwrap(), Some(b"250".to_vec()));
+        assert_eq!(t.delete(b"0250").unwrap(), None);
+        assert_eq!(t.get(b"0250").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 499);
+    }
+
+    #[test]
+    fn large_values_split_correctly() {
+        let mut t = tree();
+        let v = vec![7u8; 2000];
+        for i in 0..50u32 {
+            t.insert(format!("{i:03}").as_bytes(), &v).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 50);
+        assert_eq!(t.get(b"025").unwrap().unwrap().len(), 2000);
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut t = tree();
+        assert!(t.insert(&vec![0u8; MAX_KEY + 1], b"v").is_err());
+        assert!(t.insert(b"k", &vec![0u8; MAX_VALUE + 1]).is_err());
+    }
+
+    #[test]
+    fn duplicate_heavy_workload() {
+        let mut t = tree();
+        for round in 0..10u32 {
+            for i in 0..200u32 {
+                t.insert(format!("{i:04}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+            }
+        }
+        assert_eq!(t.len().unwrap(), 200);
+        assert_eq!(t.get(b"0100").unwrap(), Some(b"r9".to_vec()));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// A page id outside the allocated range was referenced.
+    PageOutOfRange { page: u64, count: u64 },
+    /// A record or key/value pair larger than a page can hold.
+    RecordTooLarge { size: usize, max: usize },
+    /// Structural corruption detected while reading.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::PageOutOfRange { page, count } => {
+                write!(f, "page {page} out of range (allocated {count})")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds max {max}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

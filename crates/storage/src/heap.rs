@@ -1,0 +1,322 @@
+//! Append-oriented record heap with slotted pages.
+//!
+//! Stores variable-length records addressed by a stable [`RecordId`]
+//! (page, slot). The repository persists container records, node records
+//! and serialized metadata blobs here. Records larger than one page are
+//! transparently chained across overflow pages.
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+use std::sync::Arc;
+
+/// Stable address of a record in a heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page holding the record header.
+    pub page: PageId,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+// Page layout:
+//   0: u16 slot count
+//   2: u16 free-space offset (grows upward from HEADER)
+//   4: u64 next page in this heap's chain (u64::MAX = none)
+//  12: slot directory: per slot { u16 offset, u16 len, u32 overflow_lo,
+//      u32 overflow_hi } — overflow page id (u64::MAX = none) split into
+//      two u32s to keep the directory entry 12 bytes.
+const HEADER: usize = 12;
+const SLOT_ENTRY: usize = 12;
+
+/// A record heap over a buffer pool.
+pub struct Heap {
+    pool: Arc<BufferPool>,
+    first: PageId,
+    last: PageId,
+}
+
+impl Heap {
+    /// Create an empty heap.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let first = pool.allocate()?;
+        pool.with_page_mut(first, |p| {
+            p.put_u16(0, 0);
+            p.put_u16(2, HEADER as u16);
+            p.put_u64(4, u64::MAX);
+        })?;
+        Ok(Heap { pool, first, last: first })
+    }
+
+    /// Open an existing heap by its first page (walks to the tail).
+    pub fn open(pool: Arc<BufferPool>, first: PageId) -> Result<Self> {
+        let mut last = first;
+        loop {
+            let next = pool.with_page(last, |p| p.get_u64(4))?;
+            if next == u64::MAX {
+                break;
+            }
+            last = PageId(next);
+        }
+        Ok(Heap { pool, first, last })
+    }
+
+    /// First page id (persist this in a catalog).
+    pub fn first_page(&self) -> PageId {
+        self.first
+    }
+
+    /// Append a record, returning its stable id.
+    pub fn append(&mut self, record: &[u8]) -> Result<RecordId> {
+        let inline_max = PAGE_SIZE - HEADER - SLOT_ENTRY;
+        let (inline, overflow): (&[u8], Option<PageId>) = if record.len() <= inline_max {
+            (record, None)
+        } else {
+            // Spill the tail into a chain of overflow pages.
+            let tail = &record[inline_max..];
+            let ov = self.write_overflow(tail)?;
+            (&record[..inline_max], Some(ov))
+        };
+
+        // Directory grows up from the header; record data grows down from
+        // the end of the page. The record fits if the new directory entry
+        // and the new data region do not collide.
+        let fits = self.pool.with_page(self.last, |p| {
+            let count = p.get_u16(0) as usize;
+            let dir_end = HEADER + (count + 1) * SLOT_ENTRY;
+            let data_top = (0..count)
+                .map(|s| p.get_u16(HEADER + s * SLOT_ENTRY) as usize)
+                .min()
+                .unwrap_or(PAGE_SIZE);
+            dir_end + inline.len() <= data_top
+        })?;
+        let page = if fits {
+            self.last
+        } else {
+            let new = self.pool.allocate()?;
+            self.pool.with_page_mut(new, |p| {
+                p.put_u16(0, 0);
+                p.put_u16(2, HEADER as u16);
+                p.put_u64(4, u64::MAX);
+            })?;
+            self.pool.with_page_mut(self.last, |p| p.put_u64(4, new.0))?;
+            self.last = new;
+            new
+        };
+
+        let slot = self.pool.with_page_mut(page, |p| {
+            let count = p.get_u16(0);
+            let data_top = (0..count as usize)
+                .map(|s| p.get_u16(HEADER + s * SLOT_ENTRY) as usize)
+                .min()
+                .unwrap_or(PAGE_SIZE);
+            let off = data_top - inline.len();
+            p.write_at(off, inline);
+            let e = HEADER + count as usize * SLOT_ENTRY;
+            p.put_u16(e, off as u16);
+            p.put_u16(e + 2, inline.len() as u16);
+            let ov = overflow.map_or(u64::MAX, |o| o.0);
+            p.put_u32(e + 4, (ov & 0xffff_ffff) as u32);
+            p.put_u32(e + 8, (ov >> 32) as u32);
+            p.put_u16(0, count + 1);
+            count
+        })?;
+        Ok(RecordId { page, slot })
+    }
+
+    /// Fetch a record by id.
+    pub fn get(&self, id: RecordId) -> Result<Vec<u8>> {
+        let (mut data, overflow) = self.pool.with_page(id.page, |p| {
+            let count = p.get_u16(0);
+            if id.slot >= count {
+                return Err(StorageError::Corrupt(format!(
+                    "slot {} out of range ({} slots)",
+                    id.slot, count
+                )));
+            }
+            let e = HEADER + id.slot as usize * SLOT_ENTRY;
+            let off = p.get_u16(e) as usize;
+            let len = p.get_u16(e + 2) as usize;
+            let ov = (p.get_u32(e + 4) as u64) | ((p.get_u32(e + 8) as u64) << 32);
+            let overflow = if ov == u64::MAX { None } else { Some(PageId(ov)) };
+            Ok((p.slice(off, len).to_vec(), overflow))
+        })??;
+        if let Some(ov) = overflow {
+            self.read_overflow(ov, &mut data)?;
+        }
+        Ok(data)
+    }
+
+    /// Iterate all records in append order.
+    pub fn scan(&self) -> HeapScan<'_> {
+        HeapScan { heap: self, page: Some(self.first), slot: 0 }
+    }
+
+    fn write_overflow(&mut self, mut data: &[u8]) -> Result<PageId> {
+        // Each overflow page: u16 len, u64 next, payload.
+        const OV_HEADER: usize = 10;
+        const OV_CAP: usize = PAGE_SIZE - OV_HEADER;
+        let first = self.pool.allocate()?;
+        let mut cur = first;
+        loop {
+            let chunk_len = data.len().min(OV_CAP);
+            let (chunk, rest) = data.split_at(chunk_len);
+            let next = if rest.is_empty() { None } else { Some(self.pool.allocate()?) };
+            self.pool.with_page_mut(cur, |p| {
+                p.put_u16(0, chunk_len as u16);
+                p.put_u64(2, next.map_or(u64::MAX, |n| n.0));
+                p.write_at(OV_HEADER, chunk);
+            })?;
+            match next {
+                Some(n) => {
+                    cur = n;
+                    data = rest;
+                }
+                None => return Ok(first),
+            }
+        }
+    }
+
+    fn read_overflow(&self, mut page: PageId, out: &mut Vec<u8>) -> Result<()> {
+        const OV_HEADER: usize = 10;
+        loop {
+            let next = self.pool.with_page(page, |p| {
+                let len = p.get_u16(0) as usize;
+                out.extend_from_slice(p.slice(OV_HEADER, len));
+                p.get_u64(2)
+            })?;
+            if next == u64::MAX {
+                return Ok(());
+            }
+            page = PageId(next);
+        }
+    }
+}
+
+/// Iterator over all records of a heap.
+pub struct HeapScan<'a> {
+    heap: &'a Heap,
+    page: Option<PageId>,
+    slot: u16,
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = Result<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let page = self.page?;
+            let count = match self.heap.pool.with_page(page, |p| p.get_u16(0)) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.page = None;
+                    return Some(Err(e));
+                }
+            };
+            if self.slot < count {
+                let id = RecordId { page, slot: self.slot };
+                self.slot += 1;
+                return Some(self.heap.get(id).map(|d| (id, d)));
+            }
+            match self.heap.pool.with_page(page, |p| p.get_u64(4)) {
+                Ok(u64::MAX) => {
+                    self.page = None;
+                    return None;
+                }
+                Ok(next) => {
+                    self.page = Some(PageId(next));
+                    self.slot = 0;
+                }
+                Err(e) => {
+                    self.page = None;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn heap() -> Heap {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        Heap::create(pool).unwrap()
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut h = heap();
+        let a = h.append(b"alpha").unwrap();
+        let b = h.append(b"").unwrap();
+        let c = h.append(&[9u8; 100]).unwrap();
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert_eq!(h.get(b).unwrap(), b"");
+        assert_eq!(h.get(c).unwrap(), vec![9u8; 100]);
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let mut h = heap();
+        let ids: Vec<RecordId> =
+            (0..2000).map(|i| h.append(format!("record number {i}").as_bytes()).unwrap()).collect();
+        // Must span multiple pages.
+        assert!(ids.last().unwrap().page != ids[0].page);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(h.get(*id).unwrap(), format!("record number {i}").into_bytes());
+        }
+    }
+
+    #[test]
+    fn scan_in_append_order() {
+        let mut h = heap();
+        for i in 0..500 {
+            h.append(format!("{i}").as_bytes()).unwrap();
+        }
+        let got: Vec<Vec<u8>> = h.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(got.len(), 500);
+        assert_eq!(got[0], b"0");
+        assert_eq!(got[499], b"499");
+    }
+
+    #[test]
+    fn oversized_record_chains_overflow() {
+        let mut h = heap();
+        let big: Vec<u8> = (0..PAGE_SIZE * 3).map(|i| (i % 251) as u8).collect();
+        let small_before = h.append(b"before").unwrap();
+        let id = h.append(&big).unwrap();
+        let small_after = h.append(b"after").unwrap();
+        assert_eq!(h.get(id).unwrap(), big);
+        assert_eq!(h.get(small_before).unwrap(), b"before");
+        assert_eq!(h.get(small_after).unwrap(), b"after");
+    }
+
+    #[test]
+    fn reopen_resumes_at_tail() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 64));
+        let first;
+        let mut ids = Vec::new();
+        {
+            let mut h = Heap::create(pool.clone()).unwrap();
+            first = h.first_page();
+            for i in 0..800 {
+                ids.push(h.append(format!("r{i}").as_bytes()).unwrap());
+            }
+        }
+        let mut h = Heap::open(pool, first).unwrap();
+        let new_id = h.append(b"post-reopen").unwrap();
+        assert_eq!(h.get(new_id).unwrap(), b"post-reopen");
+        assert_eq!(h.get(ids[0]).unwrap(), b"r0");
+        assert_eq!(h.get(ids[799]).unwrap(), b"r799");
+    }
+
+    #[test]
+    fn bad_slot_is_error() {
+        let mut h = heap();
+        let id = h.append(b"x").unwrap();
+        let bad = RecordId { page: id.page, slot: 99 };
+        assert!(h.get(bad).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # xquec-storage
+//!
+//! An embedded page-based storage engine — the reproduction's stand-in for
+//! the Berkeley DB back-end the paper runs on (§5):
+//!
+//! * [`page`] — fixed 8 KiB pages with field accessors;
+//! * [`pager`] — in-memory and file-backed page stores;
+//! * [`buffer`] — a clock-eviction buffer pool;
+//! * [`btree`] — a B+tree with variable-length byte keys/values and chained
+//!   leaves (the paper's "B+ search tree on top of the sequence of node
+//!   records", §2.2);
+//! * [`heap`] — a slotted-page record heap with overflow chaining for the
+//!   container and node records themselves.
+
+pub mod btree;
+pub mod buffer;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod pager;
+
+pub use btree::BTree;
+pub use buffer::{BufferPool, PoolStats};
+pub use error::{Result, StorageError};
+pub use heap::{Heap, RecordId};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pager::{FilePager, MemPager, Pager};

@@ -1,0 +1,180 @@
+//! Page-granular backends: in-memory and file-backed.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A page-granular storage backend.
+pub trait Pager: Send {
+    /// Read page `id` into `out`.
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<()>;
+    /// Write `page` at `id`.
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()>;
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate(&self) -> Result<PageId>;
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+    /// Flush to durable storage (no-op for memory).
+    fn sync(&self) -> Result<()>;
+}
+
+/// Purely in-memory pager.
+#[derive(Default)]
+pub struct MemPager {
+    pages: Mutex<Vec<Page>>,
+}
+
+impl MemPager {
+    /// New empty pager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Pager for MemPager {
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<()> {
+        let pages = self.pages.lock();
+        let page = pages.get(id.0 as usize).ok_or(StorageError::PageOutOfRange {
+            page: id.0,
+            count: pages.len() as u64,
+        })?;
+        out.bytes_mut().copy_from_slice(page.bytes());
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        let mut pages = self.pages.lock();
+        let count = pages.len() as u64;
+        let slot = pages
+            .get_mut(id.0 as usize)
+            .ok_or(StorageError::PageOutOfRange { page: id.0, count })?;
+        slot.bytes_mut().copy_from_slice(page.bytes());
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        pages.push(Page::new());
+        Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed pager (one file, pages laid out consecutively).
+pub struct FilePager {
+    file: Mutex<File>,
+    count: Mutex<u64>,
+}
+
+impl FilePager {
+    /// Open or create the file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} not a multiple of page size"
+            )));
+        }
+        Ok(FilePager { file: Mutex::new(file), count: Mutex::new(len / PAGE_SIZE as u64) })
+    }
+}
+
+impl Pager for FilePager {
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<()> {
+        let count = *self.count.lock();
+        if id.0 >= count {
+            return Err(StorageError::PageOutOfRange { page: id.0, count });
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        file.read_exact(out.bytes_mut().as_mut_slice())?;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        let count = *self.count.lock();
+        if id.0 >= count {
+            return Err(StorageError::PageOutOfRange { page: id.0, count });
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        file.write_all(page.bytes().as_slice())?;
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut count = self.count.lock();
+        let id = PageId(*count);
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.0 * PAGE_SIZE as u64))?;
+        file.write_all(&[0u8; PAGE_SIZE])?;
+        *count += 1;
+        Ok(id)
+    }
+
+    fn page_count(&self) -> u64 {
+        *self.count.lock()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(pager: &dyn Pager) {
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_ne!(a, b);
+        let mut p = Page::new();
+        p.put_u64(0, 42);
+        pager.write_page(b, &p).unwrap();
+        let mut out = Page::new();
+        pager.read_page(b, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 42);
+        pager.read_page(a, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 0);
+        assert!(pager.read_page(PageId(99), &mut out).is_err());
+        assert_eq!(pager.page_count(), 2);
+    }
+
+    #[test]
+    fn mem_pager() {
+        exercise(&MemPager::new());
+    }
+
+    #[test]
+    fn file_pager() {
+        let dir = std::env::temp_dir().join(format!("xquec-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let pager = FilePager::open(&path).unwrap();
+            exercise(&pager);
+            pager.sync().unwrap();
+        }
+        // Reopen: contents persist.
+        let pager = FilePager::open(&path).unwrap();
+        assert_eq!(pager.page_count(), 2);
+        let mut out = Page::new();
+        pager.read_page(PageId(1), &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! A small push-style writer for producing well-formed XML text.
+//!
+//! The dataset generators use this to emit documents without building a DOM.
+
+use crate::escape::{escape_attr, escape_text};
+use std::fmt::Write as _;
+
+/// Incremental XML writer with automatic escaping and tag balancing.
+pub struct XmlBuilder {
+    out: String,
+    stack: Vec<&'static str>,
+    /// A start tag has been written but not yet closed with `>`.
+    tag_open: bool,
+    /// Whether the element on top of the stack has any content so far.
+    has_content: Vec<bool>,
+}
+
+impl Default for XmlBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XmlBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        XmlBuilder { out: String::new(), stack: Vec::new(), tag_open: false, has_content: Vec::new() }
+    }
+
+    /// Create a builder with pre-reserved output capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        XmlBuilder {
+            out: String::with_capacity(cap),
+            stack: Vec::new(),
+            tag_open: false,
+            has_content: Vec::new(),
+        }
+    }
+
+    fn seal_tag(&mut self) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+    }
+
+    /// Open an element. Tag names are `&'static str` because generators use a
+    /// fixed vocabulary; this keeps the stack allocation-free.
+    pub fn open(&mut self, tag: &'static str) -> &mut Self {
+        self.seal_tag();
+        if let Some(top) = self.has_content.last_mut() {
+            *top = true;
+        }
+        self.out.push('<');
+        self.out.push_str(tag);
+        self.stack.push(tag);
+        self.has_content.push(false);
+        self.tag_open = true;
+        self
+    }
+
+    /// Add an attribute to the element just opened. Panics if called after
+    /// content has been written.
+    pub fn attr(&mut self, name: &str, value: &str) -> &mut Self {
+        assert!(self.tag_open, "attr() must follow open()");
+        let _ = write!(self.out, " {}=\"{}\"", name, escape_attr(value));
+        self
+    }
+
+    /// Write escaped character data.
+    pub fn text(&mut self, s: &str) -> &mut Self {
+        self.seal_tag();
+        if let Some(top) = self.has_content.last_mut() {
+            *top = true;
+        }
+        self.out.push_str(&escape_text(s));
+        self
+    }
+
+    /// Close the most recently opened element.
+    pub fn close(&mut self) -> &mut Self {
+        let tag = self.stack.pop().expect("close() with no open element");
+        let had_content = self.has_content.pop().expect("stack in sync");
+        if self.tag_open && !had_content {
+            self.out.push_str("/>");
+            self.tag_open = false;
+        } else {
+            self.seal_tag();
+            self.out.push_str("</");
+            self.out.push_str(tag);
+            self.out.push('>');
+        }
+        self
+    }
+
+    /// Shorthand for an element containing only text.
+    pub fn leaf(&mut self, tag: &'static str, text: &str) -> &mut Self {
+        self.open(tag).text(text).close()
+    }
+
+    /// Current output length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Finish and return the document. Panics if elements are left open.
+    pub fn finish(mut self) -> String {
+        self.seal_tag();
+        assert!(self.stack.is_empty(), "unclosed elements: {:?}", self.stack);
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::validate;
+
+    #[test]
+    fn builds_wellformed_xml() {
+        let mut b = XmlBuilder::new();
+        b.open("site");
+        b.open("person").attr("id", "p1").leaf("name", "A & B").close();
+        b.open("empty").close();
+        b.close();
+        let xml = b.finish();
+        assert_eq!(xml, r#"<site><person id="p1"><name>A &amp; B</name></person><empty/></site>"#);
+        validate(&xml).unwrap();
+    }
+
+    #[test]
+    fn escapes_attr_values() {
+        let mut b = XmlBuilder::new();
+        b.open("a").attr("x", "<\">").close();
+        let xml = b.finish();
+        validate(&xml).unwrap();
+        assert!(xml.contains("&lt;&quot;&gt;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_panics() {
+        let mut b = XmlBuilder::new();
+        b.open("a");
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,32 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// An error raised while parsing an XML document.
+///
+/// Carries the byte offset at which the problem was detected so callers can
+/// point at the offending location in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl XmlError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
+        XmlError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, XmlError>;

@@ -1,0 +1,156 @@
+//! Generator for baseball-statistics documents.
+//!
+//! Mirrors the structure of the `Baseball.xml` (1998 MLB season statistics)
+//! dataset used in the paper's Figure 6 (left): deeply regular records whose
+//! leaves are almost all *numbers*, the regime where value compression of
+//! strings matters least and numeric encoding matters most.
+
+use super::words::{pick, FIRST_NAMES, LAST_NAMES};
+use crate::builder::XmlBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LEAGUES: &[&str] = &["National League", "American League"];
+const DIVISIONS: &[&str] = &["East", "Central", "West"];
+const TEAM_CITIES: &[&str] = &[
+    "Atlanta", "Chicago", "Cincinnati", "Houston", "Los Angeles", "Milwaukee", "Montreal",
+    "New York", "Philadelphia", "Pittsburgh", "San Diego", "San Francisco", "St. Louis",
+    "Anaheim", "Baltimore", "Boston", "Cleveland", "Detroit", "Kansas City", "Minnesota",
+    "Oakland", "Seattle", "Tampa Bay", "Texas", "Toronto", "Florida", "Arizona", "Colorado",
+];
+const TEAM_NAMES: &[&str] = &[
+    "Braves", "Cubs", "Reds", "Astros", "Dodgers", "Brewers", "Expos", "Mets", "Phillies",
+    "Pirates", "Padres", "Giants", "Cardinals", "Angels", "Orioles", "Red Sox", "Indians",
+    "Tigers", "Royals", "Twins", "Athletics", "Mariners", "Devil Rays", "Rangers",
+    "Blue Jays", "Marlins", "Diamondbacks", "Rockies",
+];
+const POSITIONS: &[&str] = &[
+    "Pitcher", "Catcher", "First Base", "Second Base", "Third Base", "Shortstop",
+    "Left Field", "Center Field", "Right Field", "Designated Hitter", "Outfield",
+    "Starting Pitcher", "Relief Pitcher",
+];
+
+/// Configuration for the baseball-statistics generator.
+#[derive(Debug, Clone)]
+pub struct BaseballGen {
+    /// Approximate output size in bytes.
+    pub target_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BaseballGen {
+    /// Generator targeting roughly `bytes` of XML output.
+    pub fn with_target_size(bytes: usize) -> Self {
+        BaseballGen { target_bytes: bytes, seed: 0xBA5E }
+    }
+
+    /// Override the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = XmlBuilder::with_capacity(self.target_bytes + 4096);
+
+        b.open("SEASON");
+        b.leaf("YEAR", "1998");
+        'outer: loop {
+            for league in LEAGUES {
+                b.open("LEAGUE");
+                b.leaf("LEAGUE_NAME", league);
+                for division in DIVISIONS {
+                    b.open("DIVISION");
+                    b.leaf("DIVISION_NAME", division);
+                    let teams = rng.gen_range(4..6);
+                    for _ in 0..teams {
+                        self.team(&mut b, &mut rng);
+                    }
+                    b.close();
+                    if b.len() >= self.target_bytes {
+                        b.close(); // LEAGUE
+                        break 'outer;
+                    }
+                }
+                b.close();
+            }
+            if b.len() >= self.target_bytes {
+                break;
+            }
+        }
+        b.close();
+        b.finish()
+    }
+
+    fn team(&self, b: &mut XmlBuilder, rng: &mut StdRng) {
+        b.open("TEAM");
+        b.leaf("TEAM_CITY", pick(rng, TEAM_CITIES));
+        b.leaf("TEAM_NAME", pick(rng, TEAM_NAMES));
+        let players = rng.gen_range(25..40);
+        for _ in 0..players {
+            b.open("PLAYER");
+            b.leaf("SURNAME", pick(rng, LAST_NAMES));
+            b.leaf("GIVEN_NAME", pick(rng, FIRST_NAMES));
+            b.leaf("POSITION", pick(rng, POSITIONS));
+            b.leaf("GAMES", &rng.gen_range(1..162).to_string());
+            b.leaf("GAMES_STARTED", &rng.gen_range(0..162).to_string());
+            b.leaf("AT_BATS", &rng.gen_range(0..650).to_string());
+            b.leaf("RUNS", &rng.gen_range(0..140).to_string());
+            b.leaf("HITS", &rng.gen_range(0..230).to_string());
+            b.leaf("DOUBLES", &rng.gen_range(0..55).to_string());
+            b.leaf("TRIPLES", &rng.gen_range(0..12).to_string());
+            b.leaf("HOME_RUNS", &rng.gen_range(0..70).to_string());
+            b.leaf("RBI", &rng.gen_range(0..160).to_string());
+            b.leaf("STEALS", &rng.gen_range(0..70).to_string());
+            b.leaf("CAUGHT_STEALING", &rng.gen_range(0..20).to_string());
+            b.leaf("SACRIFICE_HITS", &rng.gen_range(0..15).to_string());
+            b.leaf("SACRIFICE_FLIES", &rng.gen_range(0..12).to_string());
+            b.leaf("ERRORS", &rng.gen_range(0..30).to_string());
+            b.leaf("WALKS", &rng.gen_range(0..150).to_string());
+            b.leaf("STRUCK_OUT", &rng.gen_range(0..190).to_string());
+            b.leaf("HIT_BY_PITCH", &rng.gen_range(0..25).to_string());
+            b.close();
+        }
+        b.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use crate::reader::validate;
+
+    #[test]
+    fn wellformed_and_sized() {
+        let xml = BaseballGen::with_target_size(60_000).generate();
+        validate(&xml).unwrap();
+        assert!(xml.len() >= 60_000, "len={}", xml.len());
+    }
+
+    #[test]
+    fn numeric_heavy_structure() {
+        let xml = BaseballGen::with_target_size(30_000).generate();
+        let doc = Document::parse(&xml).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.tag(root), Some("SEASON"));
+        let players = doc.descendant_elements(root, "PLAYER");
+        assert!(!players.is_empty());
+        for &p in players.iter().take(5) {
+            let hr = doc.child_elements(p, Some("HOME_RUNS")).next().unwrap();
+            let v: i64 = doc.immediate_text(hr).parse().unwrap();
+            assert!((0..70).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            BaseballGen::with_target_size(10_000).generate(),
+            BaseballGen::with_target_size(10_000).generate()
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Generator for university course-catalog documents.
+//!
+//! Mirrors the structure of the `Washington-Course.xml` dataset (University
+//! of Washington course listing) used in the paper's Figure 6 (left): a flat,
+//! record-like document with many small string and numeric leaves — the
+//! opposite regime from Shakespeare's long prose lines.
+
+use super::words::{pick, TextSampler, FIRST_NAMES, LAST_NAMES};
+use crate::builder::XmlBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DEPARTMENTS: &[&str] = &[
+    "CSE", "MATH", "PHYS", "CHEM", "BIOL", "HIST", "ECON", "PSYCH", "ENGL", "PHIL",
+    "MUSIC", "ART", "GEOG", "ASTR", "STAT", "LING", "SOC", "POLS", "ANTH", "CLAS",
+];
+
+const BUILDINGS: &[&str] = &[
+    "Savery", "Denny", "Guggenheim", "Kane", "Loew", "Mary Gates", "Smith", "Thomson",
+    "Bagley", "Sieg", "Johnson", "Gowen", "Raitt", "Padelford", "Mueller",
+];
+
+const DAYS: &[&str] = &["MWF", "TTh", "MW", "F", "Daily", "M", "T", "W", "Th"];
+
+/// Configuration for the course-catalog generator.
+#[derive(Debug, Clone)]
+pub struct CoursesGen {
+    /// Approximate output size in bytes.
+    pub target_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CoursesGen {
+    /// Generator targeting roughly `bytes` of XML output.
+    pub fn with_target_size(bytes: usize) -> Self {
+        CoursesGen { target_bytes: bytes, seed: 0xC0DE }
+    }
+
+    /// Override the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let text = TextSampler::new();
+        let mut b = XmlBuilder::with_capacity(self.target_bytes + 4096);
+
+        b.open("root");
+        let mut reg = 10_000;
+        while b.len() < self.target_bytes {
+            reg += rng.gen_range(1..9);
+            let dept = pick(&mut rng, DEPARTMENTS);
+            let number = rng.gen_range(100..600);
+            b.open("course").attr("reg_num", &reg.to_string());
+            b.leaf("code", dept);
+            b.leaf("number", &number.to_string());
+            b.leaf("section", &format!("{}", (b'A' + rng.gen_range(0..6)) as char));
+            b.leaf("title", &title(&text, &mut rng));
+            b.leaf("credits", &rng.gen_range(1..6).to_string());
+            b.leaf("days", pick(&mut rng, DAYS));
+            b.open("time");
+            let start_h = rng.gen_range(8..17);
+            b.leaf("start_time", &format!("{}:30", start_h));
+            b.leaf("end_time", &format!("{}:20", start_h + 1));
+            b.close();
+            b.open("place");
+            b.leaf("building", pick(&mut rng, BUILDINGS));
+            b.leaf("room", &rng.gen_range(100..450).to_string());
+            b.close();
+            b.open("instructor");
+            b.text(&format!("{} {}", pick(&mut rng, FIRST_NAMES), pick(&mut rng, LAST_NAMES)));
+            b.close();
+            b.open("enrollment");
+            let limit = rng.gen_range(20..220);
+            b.leaf("current", &rng.gen_range(0..=limit).to_string());
+            b.leaf("limit", &limit.to_string());
+            b.close();
+            if rng.gen_bool(0.4) {
+                let n = rng.gen_range(60..220);
+                b.leaf("description", &text.paragraph(&mut rng, n));
+            }
+            b.close();
+        }
+        b.close();
+        b.finish()
+    }
+}
+
+fn title(text: &TextSampler, rng: &mut StdRng) -> String {
+    let n = rng.gen_range(2..5);
+    let raw = text.sentence(rng, n);
+    let mut out = String::with_capacity(raw.len());
+    let mut cap = true;
+    for c in raw.chars() {
+        if cap {
+            out.extend(c.to_uppercase());
+            cap = false;
+        } else {
+            out.push(c);
+        }
+        if c == ' ' {
+            cap = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use crate::reader::validate;
+
+    #[test]
+    fn wellformed_and_sized() {
+        let xml = CoursesGen::with_target_size(40_000).generate();
+        validate(&xml).unwrap();
+        assert!(xml.len() >= 40_000 && xml.len() < 60_000, "len={}", xml.len());
+    }
+
+    #[test]
+    fn record_structure() {
+        let xml = CoursesGen::with_target_size(20_000).generate();
+        let doc = Document::parse(&xml).unwrap();
+        let root = doc.root().unwrap();
+        let courses: Vec<_> = doc.child_elements(root, Some("course")).collect();
+        assert!(courses.len() > 10);
+        for &c in &courses {
+            assert!(doc.attribute(c, "reg_num").is_some());
+            assert!(doc.child_elements(c, Some("code")).next().is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            CoursesGen::with_target_size(15_000).generate(),
+            CoursesGen::with_target_size(15_000).generate()
+        );
+    }
+}

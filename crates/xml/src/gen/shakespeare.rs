@@ -1,0 +1,155 @@
+//! Generator for Shakespeare-like play documents.
+//!
+//! Mirrors the structure of Jon Bosak's `shakespeare.xml` corpus used in the
+//! paper's Figure 6 (left): `PLAY / ACT / SCENE / SPEECH{SPEAKER, LINE*}`,
+//! with stage directions sprinkled in. Text is Zipfian Shakespeare-flavoured
+//! vocabulary, so the markup/text ratio and value redundancy track the real
+//! corpus.
+
+use super::words::{pick, TextSampler, FIRST_NAMES};
+use crate::builder::XmlBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Shakespeare-like generator.
+#[derive(Debug, Clone)]
+pub struct ShakespeareGen {
+    /// Approximate output size in bytes.
+    pub target_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShakespeareGen {
+    /// Generator targeting roughly `bytes` of XML output.
+    pub fn with_target_size(bytes: usize) -> Self {
+        ShakespeareGen { target_bytes: bytes, seed: 0x5A4E }
+    }
+
+    /// Override the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let text = TextSampler::new();
+        let mut b = XmlBuilder::with_capacity(self.target_bytes + 4096);
+
+        b.open("PLAY");
+        b.leaf("TITLE", &title_case(&text.sentence(&mut rng, 4)));
+        b.open("PERSONAE");
+        b.leaf("TITLE", "Dramatis Personae");
+        let n_personae = rng.gen_range(8..20);
+        let mut speakers = Vec::with_capacity(n_personae);
+        for _ in 0..n_personae {
+            let name = pick(&mut rng, FIRST_NAMES).to_uppercase();
+            b.open("PERSONA");
+            b.text(&format!("{}, {}", name, text.sentence(&mut rng, 4)));
+            b.close();
+            speakers.push(name);
+        }
+        b.close();
+
+        let mut act = 0;
+        while b.len() < self.target_bytes {
+            act += 1;
+            b.open("ACT");
+            b.leaf("TITLE", &format!("ACT {}", roman(act)));
+            let scenes = rng.gen_range(2..6);
+            for s in 1..=scenes {
+                b.open("SCENE");
+                b.leaf("TITLE", &format!("SCENE {}. {}", roman(s), title_case(&text.sentence(&mut rng, 3))));
+                b.leaf("STAGEDIR", &title_case(&text.sentence(&mut rng, 5)));
+                let speeches = rng.gen_range(8..30);
+                for _ in 0..speeches {
+                    b.open("SPEECH");
+                    b.leaf("SPEAKER", &speakers[rng.gen_range(0..speakers.len())]);
+                    for _ in 0..rng.gen_range(1..8) {
+                        let n = rng.gen_range(5..11);
+                        b.leaf("LINE", &text.sentence(&mut rng, n));
+                    }
+                    if rng.gen_bool(0.1) {
+                        b.leaf("STAGEDIR", &title_case(&text.sentence(&mut rng, 3)));
+                    }
+                    b.close();
+                }
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+        b.finish()
+    }
+}
+
+fn title_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut start = true;
+    for c in s.chars() {
+        if start {
+            out.extend(c.to_uppercase());
+            start = false;
+        } else {
+            out.push(c);
+        }
+        if c == ' ' {
+            start = true;
+        }
+    }
+    out
+}
+
+fn roman(mut n: usize) -> String {
+    const VALS: &[(usize, &str)] =
+        &[(10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I")];
+    let mut out = String::new();
+    for &(v, s) in VALS {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use crate::reader::validate;
+
+    #[test]
+    fn wellformed_and_sized() {
+        let xml = ShakespeareGen::with_target_size(50_000).generate();
+        validate(&xml).unwrap();
+        assert!(xml.len() >= 50_000 && xml.len() < 150_000, "len={}", xml.len());
+    }
+
+    #[test]
+    fn structure() {
+        let xml = ShakespeareGen::with_target_size(30_000).generate();
+        let doc = Document::parse(&xml).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.tag(root), Some("PLAY"));
+        assert!(!doc.descendant_elements(root, "SPEECH").is_empty());
+        assert!(!doc.descendant_elements(root, "LINE").is_empty());
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(1), "I");
+        assert_eq!(roman(4), "IV");
+        assert_eq!(roman(9), "IX");
+        assert_eq!(roman(14), "XIV");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ShakespeareGen::with_target_size(20_000).generate();
+        let b = ShakespeareGen::with_target_size(20_000).generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! Vocabulary and text sampling shared by the dataset generators.
+//!
+//! The real XMark `xmlgen` fills text content with words drawn from
+//! Shakespeare's plays under a skewed (roughly Zipfian) distribution; the
+//! other evaluation datasets have their own characteristic vocabularies.
+//! We reproduce the *statistics* that matter to compression — vocabulary
+//! size, Zipf skew, word lengths, and the ratio of text to markup — with an
+//! embedded word list and a seeded Zipf sampler, so compression-factor
+//! comparisons keep the paper's shape.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Core word list (Shakespeare-flavoured English) used for prose content.
+pub const PROSE_WORDS: &[&str] = &[
+    "the", "and", "to", "of", "i", "you", "my", "a", "that", "in", "is", "not", "for", "with",
+    "me", "it", "be", "your", "his", "this", "but", "he", "have", "as", "thou", "him", "so",
+    "will", "what", "thy", "all", "her", "no", "by", "do", "shall", "if", "are", "we", "thee",
+    "on", "lord", "our", "king", "good", "now", "sir", "from", "come", "o", "they", "more",
+    "at", "she", "or", "here", "let", "would", "which", "how", "there", "was", "love", "when",
+    "their", "them", "then", "am", "man", "than", "one", "upon", "like", "may", "us", "make",
+    "yet", "must", "such", "should", "did", "who", "go", "can", "had", "see", "know", "well",
+    "out", "say", "where", "enter", "these", "speak", "too", "some", "those", "tis", "give",
+    "why", "were", "very", "up", "take", "hath", "death", "day", "most", "father", "heart",
+    "time", "never", "honour", "men", "doth", "great", "night", "been", "nor", "much", "think",
+    "art", "first", "name", "heaven", "away", "life", "own", "true", "blood", "nothing",
+    "master", "look", "again", "hear", "way", "many", "god", "fair", "world", "hand", "other",
+    "old", "madam", "sweet", "before", "myself", "eyes", "grace", "soul", "both", "comes",
+    "word", "every", "made", "long", "stand", "leave", "poor", "thus", "tell", "being",
+    "better", "none", "against", "noble", "down", "call", "part", "gold", "dead", "thing",
+    "pray", "till", "place", "queen", "son", "could", "fear", "done", "little", "friends",
+    "house", "live", "duke", "therefore", "bear", "hast", "wife", "keep", "mine", "makes",
+    "mind", "lady", "answer", "ever", "might", "still", "head", "after", "stay", "off",
+    "though", "whose", "alas", "horse", "brother", "set", "daughter", "peace", "once", "three",
+    "war", "together", "put", "same", "need", "indeed", "right", "cause", "power", "land",
+    "came", "within", "hold", "best", "play", "light", "matter", "follow", "bring", "find",
+    "two", "crown", "face", "court", "service", "while", "reason", "young", "sword", "shame",
+    "free", "kind", "last", "present", "strange", "words", "sleep", "care", "rest", "wit",
+    "foul", "since", "loves", "action", "age", "earth", "youth", "breath", "whom", "money",
+    "black", "means", "cousin", "order", "purpose", "virtue", "voice", "wish", "woman",
+    "arms", "counsel", "desire", "fool", "fortune", "france", "further", "gentle", "heavy",
+    "help", "high", "home", "hope", "ill", "kiss", "law", "mean", "move", "music", "nature",
+    "news", "oath", "person", "poison", "princely", "quick", "rich", "short", "sight", "sin",
+    "state", "strong", "sun", "tears", "truth", "turn", "water", "wealth", "welcome", "wild",
+    "wind", "wise", "wonder", "worthy", "wrong", "yield", "banish", "beauty", "bed", "believe",
+    "beseech", "betwixt", "bid", "bound", "break", "bright", "brings", "broken", "business",
+    "certain", "chance", "charge", "cheek", "church", "city", "cold", "command", "common",
+    "condition", "content", "country", "courage", "curse", "custom", "dare", "dear", "deed",
+    "deep", "deliver", "deny", "die", "divine", "doubt", "draw", "dream", "drink", "duty",
+    "ear", "eat", "end", "enemy", "england", "even", "evil", "eye", "faith", "fall", "false",
+    "fame", "fancy", "fast", "fault", "fearful", "field", "fight", "fire", "fit", "fly",
+    "force", "forget", "forgive", "forth", "forward", "full", "garden", "gave", "general",
+    "gentleman", "gift", "glad", "glory", "gone", "grave", "green", "grief", "ground", "grow",
+    "guard", "guilty", "hair", "half", "hang", "happy", "hard", "harm", "haste", "hate",
+    "health", "heard", "heat", "hell", "hence", "hide", "holy", "honest", "hour", "humble",
+    "hundred", "hunger", "idle", "image", "instant", "island", "issue", "joy", "judge",
+    "just", "justice", "kill", "kingdom", "knee", "knew", "knight", "lack", "late", "laugh",
+    "lay", "lead", "learn", "less", "letter", "liberty", "lie", "lion", "lips", "loss",
+    "loud", "low", "mad", "maid", "majesty", "manner", "march", "mark", "marriage", "marry",
+    "mercy", "merry", "mighty", "mother", "mouth", "murder", "near", "new", "next", "night",
+    "north", "note", "offence", "office", "open", "opinion", "pardon", "passage", "passion",
+    "patience", "pay", "perfect", "pity", "plain", "pleasure", "point", "praise", "presence",
+    "prince", "prisoner", "proof", "proud", "prove", "purse", "quarrel", "question", "quiet",
+    "rage", "raise", "rank", "read", "ready", "reign", "remember", "report", "respect",
+    "return", "revenge", "round", "royal", "sad", "safe", "save", "sea", "season", "seat",
+    "second", "secret", "seek", "seem", "send", "sense", "serve", "several", "shadow",
+    "shape", "show", "sick", "side", "sign", "silence", "simple", "sing", "sister", "sit",
+    "slave", "small", "smile", "soft", "soldier", "sorrow", "sound", "south", "spare",
+    "speech", "speed", "spirit", "sport", "spring", "stage", "star", "stone", "stop",
+    "storm", "story", "straight", "strength", "strike", "subject", "sudden", "suffer",
+    "summer", "supper", "sure", "swear", "table", "tale", "talk", "taste", "tender",
+    "thanks", "thought", "thousand", "throne", "thunder", "tide", "title", "tongue",
+    "touch", "tower", "town", "trade", "traitor", "treason", "tree", "trial", "tribute",
+    "trouble", "trust", "try", "twenty", "twice", "understand", "unknown", "use", "vain",
+    "valiant", "value", "vengeance", "vessel", "villain", "violent", "visit", "vow", "wait",
+    "walk", "wall", "want", "warm", "watch", "weak", "wear", "weather", "weep", "weight",
+    "west", "white", "whole", "wicked", "wide", "win", "winter", "wisdom", "witness", "woe",
+    "wood", "work", "worse", "worst", "worth", "wound", "wretched", "write", "year", "yes",
+];
+
+/// First names used for person records.
+pub const FIRST_NAMES: &[&str] = &[
+    "Umit", "Sinisa", "Keung", "Ewing", "Farid", "Malena", "Hakim", "Jinpo", "Reinhard",
+    "Amanda", "Carmen", "Yuri", "Mitsuko", "Piotr", "Dominique", "Benedikte", "Takeshi",
+    "Ibrahim", "Olive", "Svein", "Mehmet", "Gustavo", "Ling", "Priya", "Andrzej", "Chiara",
+    "Dmitri", "Fatima", "Hector", "Ingrid", "Jamal", "Katrin", "Luis", "Mariko", "Nadia",
+    "Oscar", "Petra", "Quentin", "Rosa", "Stefan", "Tomoko", "Ulrich", "Vera", "Walid",
+    "Xavier", "Yasmin", "Zoltan", "Agnes", "Boris", "Celine", "Diego", "Elena", "Felix",
+    "Gudrun", "Hiroshi", "Irina", "Jorge", "Kirsten", "Laszlo", "Miriam", "Nils", "Olga",
+];
+
+/// Family names used for person records.
+pub const LAST_NAMES: &[&str] = &[
+    "Nagy", "Sato", "Muller", "Rossi", "Garcia", "Smith", "Kumar", "Chen", "Johansson",
+    "Kowalski", "Ivanov", "Schmidt", "Tanaka", "Brown", "Silva", "Novak", "Dubois",
+    "Andersen", "Papadopoulos", "Costa", "Fernandez", "Weber", "Yamamoto", "Olsen",
+    "Virtanen", "Horvat", "Popescu", "Svensson", "Moreau", "Ricci", "Vargas", "Petrov",
+    "Keller", "Nielsen", "Fischer", "Romano", "Dupont", "Berg", "Kovacs", "Sokolov",
+];
+
+/// City names for addresses.
+pub const CITIES: &[&str] = &[
+    "Orsay", "Rende", "Cosenza", "Paris", "Rome", "Berlin", "Madrid", "Lisbon", "Vienna",
+    "Prague", "Budapest", "Warsaw", "Athens", "Oslo", "Stockholm", "Helsinki", "Dublin",
+    "Amsterdam", "Brussels", "Zurich", "Milan", "Naples", "Seville", "Porto", "Lyon",
+    "Marseille", "Hamburg", "Munich", "Cologne", "Krakow", "Gdansk", "Bergen", "Uppsala",
+];
+
+/// Country names for addresses and regions.
+pub const COUNTRIES: &[&str] = &[
+    "France", "Italy", "Germany", "Spain", "Portugal", "Austria", "Czechia", "Hungary",
+    "Poland", "Greece", "Norway", "Sweden", "Finland", "Ireland", "Netherlands", "Belgium",
+    "Switzerland", "United States", "Canada", "Japan", "Australia", "Brazil", "Kenya",
+    "Morocco", "Egypt", "India", "China", "Argentina", "Chile", "Peru",
+];
+
+/// Street base names for addresses.
+pub const STREETS: &[&str] = &[
+    "Main", "Oak", "Maple", "Cedar", "Elm", "Pine", "Walnut", "Chestnut", "Willow", "Birch",
+    "Church", "High", "Station", "Market", "Bridge", "Mill", "Park", "River", "Lake", "Hill",
+];
+
+/// A seeded Zipf-distributed sampler over a word list.
+///
+/// Rank `r` (1-based) is drawn with probability proportional to `1 / r^s`.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with skew exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            total += 1.0 / (r as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw a 0-based rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Generates prose sentences with a Zipfian word distribution.
+pub struct TextSampler {
+    zipf: ZipfSampler,
+}
+
+impl Default for TextSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextSampler {
+    /// Sampler over the full prose vocabulary with the classic skew of 1.0.
+    pub fn new() -> Self {
+        TextSampler { zipf: ZipfSampler::new(PROSE_WORDS.len(), 1.0) }
+    }
+
+    /// One word.
+    pub fn word(&self, rng: &mut StdRng) -> &'static str {
+        PROSE_WORDS[self.zipf.sample(rng)]
+    }
+
+    /// A sentence of `n` words, space separated.
+    pub fn sentence(&self, rng: &mut StdRng, n: usize) -> String {
+        let mut out = String::with_capacity(n * 6);
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word(rng));
+        }
+        out
+    }
+
+    /// A paragraph of roughly `target_len` bytes.
+    pub fn paragraph(&self, rng: &mut StdRng, target_len: usize) -> String {
+        let mut out = String::with_capacity(target_len + 16);
+        while out.len() < target_len {
+            if !out.is_empty() {
+                out.push_str(". ");
+            }
+            let n = rng.gen_range(4..14);
+            out.push_str(&self.sentence(rng, n));
+        }
+        out
+    }
+}
+
+/// Pick a uniformly random item from a static list.
+pub fn pick<'a>(rng: &mut StdRng, list: &[&'a str]) -> &'a str {
+    list[rng.gen_range(0..list.len())]
+}
+
+/// A random calendar date between 1998 and 2002 in `MM/DD/YYYY` format
+/// (the format xmlgen uses).
+pub fn date(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}/{:02}/{}",
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+        rng.gen_range(1998..=2002)
+    )
+}
+
+/// A random time of day `HH:MM:SS`.
+pub fn time(rng: &mut StdRng) -> String {
+    format!(
+        "{:02}:{:02}:{:02}",
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should be sampled far more often than rank 50.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // Every draw must be in range (implicitly checked by indexing).
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let t = TextSampler::new();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(t.paragraph(&mut r1, 200), t.paragraph(&mut r2, 200));
+    }
+
+    #[test]
+    fn paragraph_hits_target_length() {
+        let t = TextSampler::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = t.paragraph(&mut rng, 500);
+        assert!(p.len() >= 500 && p.len() < 700, "len={}", p.len());
+    }
+
+    #[test]
+    fn date_time_formats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = date(&mut rng);
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[2..3], "/");
+        let t = time(&mut rng);
+        assert_eq!(t.len(), 8);
+        assert_eq!(&t[2..3], ":");
+    }
+}

@@ -1,0 +1,397 @@
+//! Generator for XMark-like auction documents.
+//!
+//! Reproduces the structure of the XMark benchmark's `xmlgen` output
+//! (Schmidt et al., VLDB 2002): an auction `<site>` with regions/items,
+//! categories, a category graph, people, open auctions and closed auctions.
+//! Entity counts follow xmlgen's proportions (25 500 persons, 21 750 items,
+//! 12 000 open and 9 750 closed auctions at `f = 1.0`); one scale unit
+//! yields roughly 56 MB of XML, and [`XmarkGen::with_target_size`] picks the
+//! scale for a requested byte size (the paper's "XMark11" 11.3 MB document
+//! is `with_target_size(11_300_000)`).
+//!
+//! Prose content (descriptions, annotations, mails) is Shakespeare-flavoured
+//! Zipfian text, mirroring xmlgen's use of Shakespeare vocabulary, so value
+//! compressibility is in the same regime as the original benchmark data.
+
+use super::words::{self, TextSampler, CITIES, COUNTRIES, FIRST_NAMES, LAST_NAMES, STREETS};
+use crate::builder::XmlBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The six continent regions of an XMark document, with xmlgen's rough share
+/// of the item population.
+const REGIONS: &[(&str, f64)] = &[
+    ("africa", 0.055),
+    ("asia", 0.20),
+    ("australia", 0.055),
+    ("europe", 0.30),
+    ("namerica", 0.30),
+    ("samerica", 0.09),
+];
+
+/// Configuration for the XMark-like generator.
+#[derive(Debug, Clone)]
+pub struct XmarkGen {
+    /// XMark scale factor: 1.0 corresponds to roughly 56 MB.
+    pub scale: f64,
+    /// RNG seed; identical seeds produce identical documents.
+    pub seed: u64,
+}
+
+impl XmarkGen {
+    /// Generator at the given scale factor with the default seed.
+    pub fn with_scale(scale: f64) -> Self {
+        XmarkGen { scale, seed: 0xA0C7 }
+    }
+
+    /// Generator calibrated to produce approximately `bytes` of XML.
+    pub fn with_target_size(bytes: usize) -> Self {
+        // Empirical calibration: one scale unit is ~56 MB of output.
+        Self::with_scale(bytes as f64 / 56.0e6)
+    }
+
+    /// Override the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Generate the document.
+    pub fn generate(&self) -> String {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let text = TextSampler::new();
+
+        let n_items_total = self.count(21_750);
+        let n_categories = self.count(1_000);
+        let n_persons = self.count(25_500);
+        let n_open = self.count(12_000);
+        let n_closed = self.count(9_750);
+
+        let mut b = XmlBuilder::with_capacity((self.scale * 56.0e6) as usize + 4096);
+        b.open("site");
+
+        // --- regions ---------------------------------------------------
+        b.open("regions");
+        let mut item_seq = 0usize;
+        for (i, &(region, share)) in REGIONS.iter().enumerate() {
+            let n = if i + 1 == REGIONS.len() {
+                n_items_total.saturating_sub(item_seq).max(1)
+            } else {
+                ((n_items_total as f64 * share).round() as usize).max(1)
+            };
+            b.open(region);
+            for _ in 0..n {
+                self.item(&mut b, &mut rng, &text, item_seq, n_categories);
+                item_seq += 1;
+            }
+            b.close();
+        }
+        b.close();
+
+        // --- categories --------------------------------------------------
+        b.open("categories");
+        for c in 0..n_categories {
+            b.open("category").attr("id", &format!("category{c}"));
+            b.leaf("name", &text.sentence(&mut rng, 2));
+            b.open("description");
+            b.leaf("text", &text.paragraph(&mut rng, 120));
+            b.close();
+            b.close();
+        }
+        b.close();
+
+        // --- catgraph -----------------------------------------------------
+        b.open("catgraph");
+        for _ in 0..n_categories {
+            let from = rng.gen_range(0..n_categories);
+            let to = rng.gen_range(0..n_categories);
+            b.open("edge")
+                .attr("from", &format!("category{from}"))
+                .attr("to", &format!("category{to}"))
+                .close();
+        }
+        b.close();
+
+        // --- people -------------------------------------------------------
+        b.open("people");
+        for p in 0..n_persons {
+            self.person(&mut b, &mut rng, p, n_categories, n_open);
+        }
+        b.close();
+
+        // --- open auctions --------------------------------------------------
+        b.open("open_auctions");
+        for a in 0..n_open {
+            self.open_auction(&mut b, &mut rng, &text, a, n_persons, item_seq);
+        }
+        b.close();
+
+        // --- closed auctions -----------------------------------------------
+        b.open("closed_auctions");
+        for _ in 0..n_closed {
+            self.closed_auction(&mut b, &mut rng, &text, n_persons, item_seq);
+        }
+        b.close();
+
+        b.close(); // site
+        b.finish()
+    }
+
+    fn item(
+        &self,
+        b: &mut XmlBuilder,
+        rng: &mut StdRng,
+        text: &TextSampler,
+        seq: usize,
+        n_categories: usize,
+    ) {
+        b.open("item").attr("id", &format!("item{seq}"));
+        b.leaf("location", words::pick(rng, COUNTRIES));
+        b.leaf("quantity", &rng.gen_range(1..=10).to_string());
+        b.leaf("name", &text.sentence(rng, 3));
+        b.leaf("payment", "Creditcard");
+        b.open("description");
+        { let n = rng.gen_range(300..1000); b.leaf("text", &text.paragraph(rng, n)); }
+        b.close();
+        b.leaf("shipping", "Will ship internationally");
+        let cats = rng.gen_range(1..=3);
+        for _ in 0..cats {
+            let c = rng.gen_range(0..n_categories);
+            b.open("incategory").attr("category", &format!("category{c}")).close();
+        }
+        if rng.gen_bool(0.7) {
+            b.open("mailbox");
+            for _ in 0..rng.gen_range(0..3) {
+                b.open("mail");
+                b.leaf(
+                    "from",
+                    &format!("{} {}", words::pick(rng, FIRST_NAMES), words::pick(rng, LAST_NAMES)),
+                );
+                b.leaf(
+                    "to",
+                    &format!("{} {}", words::pick(rng, FIRST_NAMES), words::pick(rng, LAST_NAMES)),
+                );
+                b.leaf("date", &words::date(rng));
+                { let n = rng.gen_range(200..650); b.leaf("text", &text.paragraph(rng, n)); }
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+    }
+
+    fn person(
+        &self,
+        b: &mut XmlBuilder,
+        rng: &mut StdRng,
+        seq: usize,
+        n_categories: usize,
+        n_open: usize,
+    ) {
+        let first = words::pick(rng, FIRST_NAMES);
+        let last = words::pick(rng, LAST_NAMES);
+        b.open("person").attr("id", &format!("person{seq}"));
+        b.leaf("name", &format!("{first} {last}"));
+        b.leaf(
+            "emailaddress",
+            &format!("mailto:{}@{}.com", last.to_lowercase(), words::pick(rng, CITIES).to_lowercase()),
+        );
+        if rng.gen_bool(0.5) {
+            b.leaf(
+                "phone",
+                &format!("+{} ({}) {}", rng.gen_range(1..99), rng.gen_range(10..999), rng.gen_range(1_000_000..99_999_999)),
+            );
+        }
+        if rng.gen_bool(0.6) {
+            b.open("address");
+            b.leaf("street", &format!("{} {} St", rng.gen_range(1..100), words::pick(rng, STREETS)));
+            b.leaf("city", words::pick(rng, CITIES));
+            b.leaf("country", words::pick(rng, COUNTRIES));
+            b.leaf("zipcode", &rng.gen_range(10_000..99_999).to_string());
+            b.close();
+        }
+        if rng.gen_bool(0.3) {
+            b.leaf("homepage", &format!("http://www.{}.com/~{}", words::pick(rng, CITIES).to_lowercase(), last.to_lowercase()));
+        }
+        if rng.gen_bool(0.4) {
+            b.leaf("creditcard", &format!(
+                "{} {} {} {}",
+                rng.gen_range(1000..9999),
+                rng.gen_range(1000..9999),
+                rng.gen_range(1000..9999),
+                rng.gen_range(1000..9999)
+            ));
+        }
+        if rng.gen_bool(0.7) {
+            b.open("profile").attr("income", &format!("{:.2}", rng.gen_range(9876.0..99_999.0)));
+            for _ in 0..rng.gen_range(0..4) {
+                let c = rng.gen_range(0..n_categories);
+                b.open("interest").attr("category", &format!("category{c}")).close();
+            }
+            if rng.gen_bool(0.5) {
+                b.open("education");
+                b.text(["High School", "College", "Graduate School", "Other"][rng.gen_range(0..4)]);
+                b.close();
+            }
+            if rng.gen_bool(0.5) {
+                b.leaf("gender", if rng.gen_bool(0.5) { "male" } else { "female" });
+            }
+            b.leaf("business", if rng.gen_bool(0.5) { "Yes" } else { "No" });
+            if rng.gen_bool(0.6) {
+                b.leaf("age", &rng.gen_range(18..90).to_string());
+            }
+            b.close();
+        }
+        if rng.gen_bool(0.3) && n_open > 0 {
+            b.open("watches");
+            for _ in 0..rng.gen_range(1..4) {
+                let a = rng.gen_range(0..n_open);
+                b.open("watch").attr("open_auction", &format!("open_auction{a}")).close();
+            }
+            b.close();
+        }
+        b.close();
+    }
+
+    fn open_auction(
+        &self,
+        b: &mut XmlBuilder,
+        rng: &mut StdRng,
+        text: &TextSampler,
+        seq: usize,
+        n_persons: usize,
+        n_items: usize,
+    ) {
+        b.open("open_auction").attr("id", &format!("open_auction{seq}"));
+        let initial: f64 = rng.gen_range(1.0..300.0);
+        b.leaf("initial", &format!("{initial:.2}"));
+        if rng.gen_bool(0.4) {
+            b.leaf("reserve", &format!("{:.2}", initial * rng.gen_range(1.1..3.0)));
+        }
+        let n_bids = rng.gen_range(0..6);
+        let mut current = initial;
+        for _ in 0..n_bids {
+            b.open("bidder");
+            b.leaf("date", &words::date(rng));
+            b.leaf("time", &words::time(rng));
+            b.open("personref").attr("person", &format!("person{}", rng.gen_range(0..n_persons))).close();
+            let inc: f64 = rng.gen_range(1.5..18.0);
+            b.leaf("increase", &format!("{inc:.2}"));
+            current += inc;
+            b.close();
+        }
+        b.leaf("current", &format!("{current:.2}"));
+        if rng.gen_bool(0.5) {
+            b.leaf("privacy", if rng.gen_bool(0.5) { "Yes" } else { "No" });
+        }
+        b.open("itemref").attr("item", &format!("item{}", rng.gen_range(0..n_items))).close();
+        b.open("seller").attr("person", &format!("person{}", rng.gen_range(0..n_persons))).close();
+        b.open("annotation");
+        b.open("author").attr("person", &format!("person{}", rng.gen_range(0..n_persons))).close();
+        b.open("description");
+        { let n = rng.gen_range(250..750); b.leaf("text", &text.paragraph(rng, n)); }
+        b.close();
+        b.close();
+        b.leaf("quantity", &rng.gen_range(1..=10).to_string());
+        b.leaf("type", if rng.gen_bool(0.5) { "Regular" } else { "Featured" });
+        b.open("interval");
+        b.leaf("start", &words::date(rng));
+        b.leaf("end", &words::date(rng));
+        b.close();
+        b.close();
+    }
+
+    fn closed_auction(
+        &self,
+        b: &mut XmlBuilder,
+        rng: &mut StdRng,
+        text: &TextSampler,
+        n_persons: usize,
+        n_items: usize,
+    ) {
+        b.open("closed_auction");
+        b.open("seller").attr("person", &format!("person{}", rng.gen_range(0..n_persons))).close();
+        b.open("buyer").attr("person", &format!("person{}", rng.gen_range(0..n_persons))).close();
+        b.open("itemref").attr("item", &format!("item{}", rng.gen_range(0..n_items))).close();
+        b.leaf("price", &format!("{:.2}", rng.gen_range(5.0..500.0)));
+        b.leaf("date", &words::date(rng));
+        b.leaf("quantity", &rng.gen_range(1..=10).to_string());
+        b.leaf("type", if rng.gen_bool(0.5) { "Regular" } else { "Featured" });
+        if rng.gen_bool(0.6) {
+            b.open("annotation");
+            b.open("author").attr("person", &format!("person{}", rng.gen_range(0..n_persons))).close();
+            b.open("description");
+            { let n = rng.gen_range(60..300); b.leaf("text", &text.paragraph(rng, n)); }
+            b.close();
+            b.close();
+        }
+        b.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+    use crate::reader::validate;
+
+    #[test]
+    fn generates_wellformed_xml() {
+        let xml = XmarkGen::with_scale(0.0005).generate();
+        validate(&xml).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = XmarkGen::with_scale(0.0005).generate();
+        let b = XmarkGen::with_scale(0.0005).generate();
+        assert_eq!(a, b);
+        let c = XmarkGen::with_scale(0.0005).seed(99).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn has_expected_structure() {
+        let xml = XmarkGen::with_scale(0.001).generate();
+        let doc = Document::parse(&xml).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.tag(root), Some("site"));
+        let top: Vec<_> = doc.child_elements(root, None).filter_map(|n| doc.tag(n)).collect();
+        assert_eq!(
+            top,
+            vec!["regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"]
+        );
+        let persons = doc.descendant_elements(root, "person");
+        assert_eq!(persons.len(), (25_500.0_f64 * 0.001).round() as usize);
+        // Every person has an id attribute and a name child.
+        for &p in &persons {
+            assert!(doc.attribute(p, "id").is_some());
+            assert!(doc.child_elements(p, Some("name")).next().is_some());
+        }
+    }
+
+    #[test]
+    fn size_scales_roughly_linearly() {
+        let small = XmarkGen::with_scale(0.0005).generate().len();
+        let large = XmarkGen::with_scale(0.001).generate().len();
+        let ratio = large as f64 / small as f64;
+        assert!(ratio > 1.5 && ratio < 2.6, "ratio={ratio}");
+    }
+
+    #[test]
+    fn references_are_valid() {
+        let xml = XmarkGen::with_scale(0.0008).generate();
+        let doc = Document::parse(&xml).unwrap();
+        let root = doc.root().unwrap();
+        let n_items = doc.descendant_elements(root, "item").len();
+        for r in doc.descendant_elements(root, "itemref") {
+            let id = doc.attribute(r, "item").unwrap();
+            let n: usize = id.strip_prefix("item").unwrap().parse().unwrap();
+            assert!(n < n_items);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! A streaming (pull) XML parser.
+//!
+//! [`Reader`] walks over a UTF-8 document and yields [`Event`]s one at a
+//! time, without materializing a tree. This is what the XQueC loader consumes
+//! when shredding a document into containers, and what the homomorphic
+//! baseline compressors (XGrind/XPRESS style) consume as their token stream.
+//!
+//! The parser covers the XML subset that the evaluation datasets exercise:
+//! elements, attributes, text, CDATA sections, comments, processing
+//! instructions, an optional prologue and DOCTYPE, and the predefined /
+//! numeric entity references. It checks well-formedness (tag balance,
+//! duplicate attributes, single root).
+
+use crate::error::{Result, XmlError};
+use crate::escape::unescape;
+
+/// One parsing event produced by [`Reader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// An opening tag, with its attributes in document order.
+    StartElement {
+        name: String,
+        attributes: Vec<(String, String)>,
+    },
+    /// A closing tag (also emitted for self-closing elements).
+    EndElement { name: String },
+    /// A text node (entities resolved, CDATA included verbatim).
+    Text(String),
+}
+
+/// Streaming pull parser over an in-memory document.
+pub struct Reader<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    stack: Vec<String>,
+    /// End event pending for a self-closed element.
+    pending_end: Option<String>,
+    seen_root: bool,
+    finished: bool,
+    /// Drop text nodes that consist only of whitespace (defaults to `true`;
+    /// inter-element indentation is not data in any of our datasets).
+    keep_whitespace: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over a complete document held in memory.
+    pub fn new(src: &'a str) -> Self {
+        Reader {
+            input: src.as_bytes(),
+            src,
+            pos: 0,
+            stack: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            finished: false,
+            keep_whitespace: false,
+        }
+    }
+
+    /// Keep whitespace-only text nodes instead of dropping them.
+    pub fn keep_whitespace(mut self, keep: bool) -> Self {
+        self.keep_whitespace = keep;
+        self
+    }
+
+    /// Current byte offset into the input.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Depth of the currently open element stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError::new(self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skip until (and past) the given terminator, or error out.
+    fn skip_until(&mut self, term: &str, what: &str) -> Result<()> {
+        match self.src[self.pos..].find(term) {
+            Some(i) => {
+                self.pos += i + term.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated {what}"))),
+        }
+    }
+
+    fn is_name_byte(b: u8, first: bool) -> bool {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b':' => true,
+            b'0'..=b'9' | b'-' | b'.' => !first,
+            _ => b >= 0x80 && !first || b >= 0x80,
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        let Some(b0) = self.peek() else {
+            return Err(self.err("expected name, found end of input"));
+        };
+        if !Self::is_name_byte(b0, true) {
+            return Err(self.err(format!("invalid name start character {:?}", b0 as char)));
+        }
+        self.pos += 1;
+        while let Some(b) = self.peek() {
+            if Self::is_name_byte(b, false) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    fn read_attributes(&mut self) -> Result<Vec<(String, String)>> {
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => break,
+                _ => {}
+            }
+            let name = self.read_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'=') {
+                return Err(self.err(format!("expected '=' after attribute name {name}")));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => q,
+                _ => return Err(self.err("expected quoted attribute value")),
+            };
+            self.pos += 1;
+            let vstart = self.pos;
+            while let Some(b) = self.peek() {
+                if b == quote {
+                    break;
+                }
+                if b == b'<' {
+                    return Err(self.err("'<' not allowed in attribute value"));
+                }
+                self.pos += 1;
+            }
+            if self.peek() != Some(quote) {
+                return Err(self.err("unterminated attribute value"));
+            }
+            let value = unescape(&self.src[vstart..self.pos], vstart)?.into_owned();
+            self.pos += 1;
+            if attrs.iter().any(|(n, _)| *n == name) {
+                return Err(self.err(format!("duplicate attribute {name}")));
+            }
+            attrs.push((name, value));
+        }
+        Ok(attrs)
+    }
+
+    /// Parse markup starting at `<`. Returns `None` for skipped constructs
+    /// (comments, PIs, DOCTYPE).
+    fn read_markup(&mut self) -> Result<Option<Event>> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        if self.starts_with("<!--") {
+            self.pos += 4;
+            self.skip_until("-->", "comment")?;
+            return Ok(None);
+        }
+        if self.starts_with("<![CDATA[") {
+            self.pos += 9;
+            let start = self.pos;
+            self.skip_until("]]>", "CDATA section")?;
+            let text = self.src[start..self.pos - 3].to_owned();
+            return Ok(Some(Event::Text(text)));
+        }
+        if self.starts_with("<!DOCTYPE") {
+            // Skip the doctype, including an optional internal subset.
+            self.pos += 9;
+            let mut depth = 0usize;
+            loop {
+                match self.peek() {
+                    Some(b'[') => {
+                        depth += 1;
+                        self.pos += 1;
+                    }
+                    Some(b']') => {
+                        depth = depth.saturating_sub(1);
+                        self.pos += 1;
+                    }
+                    Some(b'>') if depth == 0 => {
+                        self.pos += 1;
+                        return Ok(None);
+                    }
+                    Some(_) => self.pos += 1,
+                    None => return Err(self.err("unterminated DOCTYPE")),
+                }
+            }
+        }
+        if self.starts_with("<?") {
+            self.pos += 2;
+            self.skip_until("?>", "processing instruction")?;
+            return Ok(None);
+        }
+        if self.starts_with("</") {
+            self.pos += 2;
+            let name = self.read_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'>') {
+                return Err(self.err(format!("malformed closing tag </{name}")));
+            }
+            self.pos += 1;
+            match self.stack.pop() {
+                Some(open) if open == name => Ok(Some(Event::EndElement { name })),
+                Some(open) => Err(self.err(format!("mismatched tags: <{open}> closed by </{name}>"))),
+                None => Err(self.err(format!("closing tag </{name}> with no open element"))),
+            }
+        } else {
+            self.pos += 1; // consume '<'
+            let name = self.read_name()?;
+            let attributes = self.read_attributes()?;
+            if self.stack.is_empty() {
+                if self.seen_root {
+                    return Err(self.err("multiple root elements"));
+                }
+                self.seen_root = true;
+            }
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    self.pending_end = Some(name.clone());
+                    Ok(Some(Event::StartElement { name, attributes }))
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name.clone());
+                    Ok(Some(Event::StartElement { name, attributes }))
+                }
+                _ => Err(self.err(format!("unterminated start tag <{name}"))),
+            }
+        }
+    }
+
+    fn read_text(&mut self) -> Result<Option<Event>> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = &self.src[start..self.pos];
+        if self.stack.is_empty() {
+            // Text outside the root: only whitespace is permitted.
+            if raw.bytes().all(|b| b.is_ascii_whitespace()) {
+                return Ok(None);
+            }
+            return Err(XmlError::new(start, "text content outside root element"));
+        }
+        if !self.keep_whitespace && raw.bytes().all(|b| b.is_ascii_whitespace()) {
+            return Ok(None);
+        }
+        let text = unescape(raw, start)?.into_owned();
+        Ok(Some(Event::Text(text)))
+    }
+
+    /// Pull the next event, `Ok(None)` at end of document.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        if let Some(name) = self.pending_end.take() {
+            return Ok(Some(Event::EndElement { name }));
+        }
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            if self.pos >= self.input.len() {
+                if let Some(open) = self.stack.last() {
+                    return Err(self.err(format!("unexpected end of input, <{open}> still open")));
+                }
+                if !self.seen_root {
+                    return Err(self.err("document has no root element"));
+                }
+                self.finished = true;
+                return Ok(None);
+            }
+            let ev = if self.peek() == Some(b'<') {
+                self.read_markup()?
+            } else {
+                self.read_text()?
+            };
+            if let Some(ev) = ev {
+                return Ok(Some(ev));
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for Reader<'a> {
+    type Item = Result<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parse an entire document, validating well-formedness, and discard events.
+///
+/// Useful as a cheap validity check in tests and generators.
+pub fn validate(src: &str) -> Result<()> {
+    let mut r = Reader::new(src);
+    while r.next_event()?.is_some() {}
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        Reader::new(src).collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a x=\"1\"><b>hi</b><c/></a>");
+        assert_eq!(
+            evs,
+            vec![
+                Event::StartElement {
+                    name: "a".into(),
+                    attributes: vec![("x".into(), "1".into())]
+                },
+                Event::StartElement { name: "b".into(), attributes: vec![] },
+                Event::Text("hi".into()),
+                Event::EndElement { name: "b".into() },
+                Event::StartElement { name: "c".into(), attributes: vec![] },
+                Event::EndElement { name: "c".into() },
+                Event::EndElement { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn prologue_comments_cdata() {
+        let evs = events(
+            "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><!-- c --><a><![CDATA[x<y]]></a>",
+        );
+        assert_eq!(
+            evs,
+            vec![
+                Event::StartElement { name: "a".into(), attributes: vec![] },
+                Event::Text("x<y".into()),
+                Event::EndElement { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn entity_resolution() {
+        let evs = events("<a b=\"&lt;&#65;\">x &amp; y</a>");
+        match &evs[0] {
+            Event::StartElement { attributes, .. } => assert_eq!(attributes[0].1, "<A"),
+            _ => panic!(),
+        }
+        assert_eq!(evs[1], Event::Text("x & y".into()));
+    }
+
+    #[test]
+    fn whitespace_dropped_by_default() {
+        let evs = events("<a>\n  <b>v</b>\n</a>");
+        assert_eq!(evs.len(), 5);
+        let kept: Vec<Event> = Reader::new("<a> <b>v</b> </a>")
+            .keep_whitespace(true)
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(kept.len(), 7);
+    }
+
+    #[test]
+    fn malformed_inputs() {
+        assert!(validate("<a><b></a></b>").is_err());
+        assert!(validate("<a>").is_err());
+        assert!(validate("<a/><b/>").is_err());
+        assert!(validate("text").is_err());
+        assert!(validate("<a x=1></a>").is_err());
+        assert!(validate("<a x=\"1\" x=\"2\"></a>").is_err());
+        assert!(validate("").is_err());
+        assert!(validate("<a><!-- unterminated </a>").is_err());
+    }
+
+    #[test]
+    fn mismatched_close_reports_offset() {
+        let err = validate("<aa><bb></cc></aa>").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.message.contains("mismatched"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Auction analytics over a compressed XMark document — the paper's
+//! motivating scenario: run the XMark workload against a repository that was
+//! compressed *for* that workload, and compare with the uncompressed
+//! Galax-like engine.
+//!
+//! ```sh
+//! cargo run --release --example auction_analytics [size_bytes]
+//! ```
+
+use std::time::Instant;
+use xquec::baselines::GalaxEngine;
+use xquec::core::loader::{load_with, LoaderOptions};
+use xquec::core::queries::{xmark_workload, XMARK_QUERIES};
+use xquec::core::query::Engine;
+use xquec::xml::gen::Dataset;
+
+fn main() {
+    let bytes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2_000_000);
+    println!("generating an XMark-like auction document (~{bytes} bytes)…");
+    let xml = Dataset::Xmark.generate(bytes);
+
+    let t = Instant::now();
+    let opts = LoaderOptions { workload: Some(xmark_workload()), ..Default::default() };
+    let repo = load_with(&xml, &opts).expect("load");
+    let report = repo.size_report();
+    println!(
+        "XQueC load: {:.2}s, {} -> {} bytes (CF {:.1}%)",
+        t.elapsed().as_secs_f64(),
+        report.original,
+        report.total(),
+        report.compression_factor() * 100.0
+    );
+    let engine = Engine::new(&repo);
+
+    let t = Instant::now();
+    let galax = GalaxEngine::load(&xml).expect("galax load");
+    println!(
+        "Galax load: {:.2}s, DOM footprint ~{} bytes",
+        t.elapsed().as_secs_f64(),
+        galax.memory_footprint()
+    );
+
+    println!("\n{:<5} {:>12} {:>12}  note", "query", "XQueC (ms)", "Galax (ms)");
+    for q in XMARK_QUERIES.iter().filter(|q| q.in_figure7) {
+        let t = Instant::now();
+        let out = engine.run(q.text).expect("xquec query");
+        let xq_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        galax.set_timeout(30.0);
+        let t = Instant::now();
+        let g = galax.run(q.text);
+        let g_ms = t.elapsed().as_secs_f64() * 1e3;
+        match g {
+            Ok(gout) => println!(
+                "{:<5} {:>12.2} {:>12.2}  {} ({} result bytes{})",
+                q.id,
+                xq_ms,
+                g_ms,
+                q.title,
+                out.len(),
+                if gout.len() == out.len() { ", results agree" } else { "" }
+            ),
+            Err(_) => println!(
+                "{:<5} {:>12.2} {:>12}  {} (Galax did not finish, as in the paper)",
+                q.id, xq_ms, "DNF", q.title
+            ),
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Compression explorer — compare every codec in the pool plus the three
+//! baseline systems on any of the built-in datasets.
+//!
+//! ```sh
+//! cargo run --release --example compression_explorer [xmark|shakespeare|courses|baseball] [bytes]
+//! ```
+
+use xquec::baselines::{XgrindDoc, XmillDoc, XpressDoc};
+use xquec::compress::{blz, CodecKind, ValueCodec};
+use xquec::core::loader::load;
+use xquec::xml::gen::Dataset;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "xmark".into());
+    let bytes: usize = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(500_000);
+    let ds = match which.as_str() {
+        "shakespeare" => Dataset::Shakespeare,
+        "courses" => Dataset::Courses,
+        "baseball" => Dataset::Baseball,
+        _ => Dataset::Xmark,
+    };
+    println!("dataset: {} (~{bytes} bytes)", ds.name());
+    let xml = ds.generate(bytes);
+
+    // Whole-document systems.
+    println!("\nwhole-document systems:");
+    let repo = load(&xml).expect("xquec load");
+    let r = repo.size_report();
+    println!("  XQueC        CF {:>5.1}%  (containers {}, summary {} nodes)",
+        r.compression_factor() * 100.0, repo.containers.len(), repo.summary.len());
+    let xmill = XmillDoc::compress(&xml).expect("xmill");
+    println!("  XMill-like   CF {:>5.1}%  (no individual value access)", xmill.compression_factor() * 100.0);
+    let xgrind = XgrindDoc::compress(&xml).expect("xgrind");
+    println!("  XGrind-like  CF {:>5.1}%  (homomorphic, top-down scans)", xgrind.compression_factor() * 100.0);
+    let xpress = XpressDoc::compress(&xml).expect("xpress");
+    println!("  XPRESS-like  CF {:>5.1}%  (reverse arithmetic path intervals)", xpress.compression_factor() * 100.0);
+
+    // Per-codec view of the largest text container.
+    let Some((cid, _)) = repo
+        .containers
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.vtype == xquec::core::ValueType::Str)
+        .max_by_key(|(_, c)| c.plain_size())
+        .map(|(i, c)| (xquec::core::ContainerId(i as u32), c.plain_size()))
+    else {
+        println!("no text containers");
+        return;
+    };
+    let container = repo.container(cid);
+    let values = container.decompress_all();
+    let plain: usize = values.iter().map(|v| v.len()).sum();
+    println!(
+        "\nlargest text container: {} ({} values, {} bytes)",
+        repo.container_path_string(cid),
+        values.len(),
+        plain
+    );
+    let corpus: Vec<&[u8]> = values.iter().map(|v| v.as_bytes()).collect();
+    println!("  {:<12} {:>8} {:>8}  properties", "codec", "ratio", "model");
+    for kind in [CodecKind::Raw, CodecKind::Huffman, CodecKind::HuTucker, CodecKind::Alm] {
+        let codec = ValueCodec::train(kind, &corpus);
+        let comp: usize = values
+            .iter()
+            .map(|v| codec.compress(v.as_bytes()).map_or(v.len(), |c| c.len()))
+            .sum();
+        let p = kind.properties();
+        println!(
+            "  {:<12} {:>7.1}% {:>7}B  eq={} ineq={} wild={}",
+            kind.name(),
+            comp as f64 / plain as f64 * 100.0,
+            codec.model_size(),
+            p.eq as u8,
+            p.ineq as u8,
+            p.wild as u8
+        );
+    }
+    let joined: Vec<u8> = values.iter().flat_map(|v| v.as_bytes().iter().copied()).collect();
+    let blz_len = blz::compress(&joined).len();
+    println!(
+        "  {:<12} {:>7.1}% {:>7}B  (block: no per-value access)",
+        "blz",
+        blz_len as f64 / plain as f64 * 100.0,
+        0
+    );
+}

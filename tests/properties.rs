@@ -1,0 +1,250 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xquec::compress::{blz, bwt, numeric, Alm, Arith, Huffman, HuTucker, NumericCodec};
+use xquec::storage::{BTree, BufferPool, Heap, MemPager};
+
+// ---- compression codecs -----------------------------------------------------
+
+proptest! {
+    /// blz round-trips arbitrary bytes.
+    #[test]
+    fn blz_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(blz::decompress(&blz::compress(&data)), data);
+    }
+
+    /// BWT round-trips arbitrary bytes.
+    #[test]
+    fn bwt_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let (l, p) = bwt::bwt(&data);
+        prop_assert_eq!(bwt::ibwt(&l, p), data);
+    }
+
+    /// Huffman round-trips and preserves equality of compressed forms.
+    #[test]
+    fn huffman_roundtrip_and_eq(
+        corpus in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20),
+        probe in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let h = Huffman::train(corpus.iter().map(|v| v.as_slice()));
+        for v in &corpus {
+            prop_assert_eq!(h.decompress(&h.compress(v)), v.clone());
+        }
+        prop_assert_eq!(h.decompress(&h.compress(&probe)), probe.clone());
+        prop_assert_eq!(h.compress(&probe), h.compress(&probe.clone()));
+    }
+
+    /// Huffman prefix matching in the compressed domain equals plaintext
+    /// prefix matching.
+    #[test]
+    fn huffman_prefix_match(
+        value in proptest::collection::vec(any::<u8>(), 0..48),
+        cut in 0usize..48,
+        extra in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let h = Huffman::train([value.as_slice()]);
+        let comp = h.compress(&value);
+        let cut = cut.min(value.len());
+        prop_assert!(h.prefix_match(&comp, &value[..cut]));
+        let mut other = value[..cut].to_vec();
+        other.extend_from_slice(&extra);
+        prop_assert_eq!(h.prefix_match(&comp, &other), value.starts_with(&other));
+    }
+
+    /// Arithmetic coding round-trips arbitrary values under any model and
+    /// stays deterministic (the `eq` property).
+    #[test]
+    fn arith_roundtrip(
+        corpus in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..16),
+        probe in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let a = Arith::train(corpus.iter().map(|v| v.as_slice()));
+        for v in &corpus {
+            prop_assert_eq!(a.decompress(&a.compress(v)), v.clone());
+        }
+        prop_assert_eq!(a.decompress(&a.compress(&probe)), probe.clone());
+        prop_assert_eq!(a.compress(&probe), a.compress(&probe.clone()));
+    }
+
+    /// Hu-Tucker round-trips and preserves order in the compressed domain.
+    #[test]
+    fn hutucker_order(
+        corpus in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 2..16),
+    ) {
+        let h = HuTucker::train(corpus.iter().map(|v| v.as_slice()));
+        let mut sorted = corpus.clone();
+        sorted.sort();
+        sorted.dedup();
+        let comp: Vec<Vec<u8>> = sorted.iter().map(|v| h.compress(v)).collect();
+        for w in comp.windows(2) {
+            prop_assert_eq!(h.cmp_compressed(&w[0], &w[1]), std::cmp::Ordering::Less);
+        }
+        for (v, c) in sorted.iter().zip(&comp) {
+            prop_assert_eq!(&h.decompress(c), v);
+        }
+    }
+
+    /// ALM round-trips its training corpus and is order-preserving under
+    /// plain byte comparison.
+    #[test]
+    fn alm_order_preserving(
+        corpus in proptest::collection::vec("[a-f ]{0,24}", 2..24),
+    ) {
+        let alm = Alm::train(corpus.iter().map(|v| v.as_bytes()));
+        let mut sorted: Vec<&String> = corpus.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        let comp: Vec<Vec<u8>> = sorted
+            .iter()
+            .map(|v| alm.compress(v.as_bytes()).expect("trained corpus encodes"))
+            .collect();
+        for (i, w) in comp.windows(2).enumerate() {
+            prop_assert!(
+                w[0] < w[1],
+                "order violated between {:?} and {:?}",
+                sorted[i],
+                sorted[i + 1]
+            );
+        }
+        for (v, c) in sorted.iter().zip(&comp) {
+            prop_assert_eq!(alm.decompress(c), v.as_bytes());
+        }
+    }
+
+    /// Numeric encoding orders exactly like the numbers themselves.
+    #[test]
+    fn numeric_order(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        let ea = numeric::encode_i128(a as i128);
+        let eb = numeric::encode_i128(b as i128);
+        prop_assert_eq!(ea.cmp(&eb), a.cmp(&b));
+        prop_assert_eq!(numeric::decode_i128(&ea), a as i128);
+    }
+
+    /// Canonical integers survive the numeric codec byte-for-byte.
+    #[test]
+    fn numeric_codec_roundtrip(vals in proptest::collection::vec(-100_000i64..100_000, 1..20)) {
+        let texts: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+        let codec = NumericCodec::detect(texts.iter().map(|t| t.as_bytes()))
+            .expect("canonical integers detect");
+        for t in &texts {
+            let c = codec.compress(t.as_bytes()).expect("encodes");
+            prop_assert_eq!(codec.decompress(&c), t.as_bytes());
+        }
+    }
+}
+
+// ---- XML ---------------------------------------------------------------------
+
+proptest! {
+    /// Escape/unescape round-trips arbitrary text.
+    #[test]
+    fn escape_roundtrip(text in "\\PC{0,200}") {
+        let esc = xquec::xml::escape::escape_text(&text).into_owned();
+        prop_assert_eq!(xquec::xml::escape::unescape(&esc, 0).unwrap(), text);
+    }
+
+    /// A document built from arbitrary text content parses back to the same
+    /// text.
+    #[test]
+    // Trailing non-space character keeps the text from being dropped as
+    // ignorable inter-element whitespace.
+    fn document_text_roundtrip(texts in proptest::collection::vec("[a-zA-Z0-9<>&'\" ]{0,39}[a-zA-Z0-9]", 1..10)) {
+        let mut b = xquec::xml::XmlBuilder::new();
+        b.open("root");
+        for t in &texts {
+            b.open("item").text(t).close();
+        }
+        b.close();
+        let xml = b.finish();
+        let doc = xquec::xml::Document::parse(&xml).unwrap();
+        let root = doc.root().unwrap();
+        let items = doc.descendant_elements(root, "item");
+        prop_assert_eq!(items.len(), texts.len());
+        for (n, t) in items.iter().zip(&texts) {
+            prop_assert_eq!(&doc.text_content(*n), t);
+        }
+    }
+}
+
+// ---- storage -------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The B+tree behaves like a sorted map under random inserts, updates,
+    /// deletes and range scans.
+    #[test]
+    fn btree_matches_model(
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..24), proptest::collection::vec(any::<u8>(), 0..32), any::<bool>()),
+            1..120,
+        )
+    ) {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 32));
+        let mut tree = BTree::create(pool).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (k, v, del) in &ops {
+            if *del {
+                prop_assert_eq!(tree.delete(k).unwrap(), model.remove(k));
+            } else {
+                prop_assert_eq!(tree.insert(k, v).unwrap(), model.insert(k.clone(), v.clone()));
+            }
+        }
+        // Point reads.
+        for (k, _, _) in &ops {
+            prop_assert_eq!(tree.get(k).unwrap(), model.get(k).cloned());
+        }
+        // Full scan matches the model order.
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.iter().unwrap().map(|e| e.unwrap()).collect();
+        let expect: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    /// The heap returns exactly what was appended, under any record sizes.
+    #[test]
+    fn heap_roundtrip(records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..9000), 1..40)) {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 32));
+        let mut heap = Heap::create(pool).unwrap();
+        let ids: Vec<_> = records.iter().map(|r| heap.append(r).unwrap()).collect();
+        for (id, rec) in ids.iter().zip(&records) {
+            prop_assert_eq!(&heap.get(*id).unwrap(), rec);
+        }
+        let scanned: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
+        prop_assert_eq!(scanned, records);
+    }
+}
+
+// ---- repository --------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every value in a loaded repository decompresses back to the original
+    /// leaf content, whatever the codec mix.
+    #[test]
+    fn repository_values_roundtrip(seed in 0u64..500) {
+        let xml = xquec::xml::gen::xmark::XmarkGen::with_scale(0.0006).seed(seed).generate();
+        let repo = xquec::core::loader::load(&xml).unwrap();
+        let doc = xquec::xml::Document::parse(&xml).unwrap();
+        // Compare multisets of all leaf values.
+        let mut original: Vec<String> = Vec::new();
+        for n in doc.descendants(doc.document_node()) {
+            if let xquec::xml::NodeKind::Text(t) = doc.kind(n) {
+                original.push(t.clone());
+            }
+            for (_, v) in doc.attributes(n) {
+                original.push(v.to_owned());
+            }
+        }
+        let mut stored: Vec<String> = Vec::new();
+        for c in &repo.containers {
+            stored.extend(c.decompress_all());
+        }
+        original.sort();
+        stored.sort();
+        prop_assert_eq!(stored, original);
+    }
+}
