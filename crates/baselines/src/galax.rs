@@ -105,7 +105,7 @@ impl GalaxEngine {
         // Cheap cooperative timeout check.
         let t = self.ticks.get().wrapping_add(1);
         self.ticks.set(t);
-        if t % 8192 == 0 {
+        if t.is_multiple_of(8192) {
             if let Some(d) = self.deadline.get() {
                 if Instant::now() > d {
                     return err("galax timeout exceeded");

@@ -253,7 +253,7 @@ impl XgrindDoc {
                 }
                 t => {
                     let code = t - TOK_BASE;
-                    if code % 2 == 0 {
+                    if code.is_multiple_of(2) {
                         path.push(code);
                     } else {
                         let (len, used) =

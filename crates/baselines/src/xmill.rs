@@ -178,7 +178,7 @@ impl XmillDoc {
                 }
                 t => {
                     let code = (t - TOK_BASE) / 2;
-                    if (t - TOK_BASE) % 2 == 0 {
+                    if (t - TOK_BASE).is_multiple_of(2) {
                         // Start element.
                         if tag_open {
                             out.push('>');

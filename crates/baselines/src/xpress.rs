@@ -219,7 +219,7 @@ impl XpressDoc {
         let (qlo, qhi) = reverse_interval(&self.tag_intervals, &codes);
         let mut count = 0usize;
         self.scan(|tok, payload| {
-            if tok >= TOK_BASE && (tok - TOK_BASE) % 2 == 0 {
+            if tok >= TOK_BASE && (tok - TOK_BASE).is_multiple_of(2) {
                 let lo = f64::from_le_bytes(payload.try_into().expect("8-byte interval"));
                 if lo >= qlo && lo < qhi {
                     count += 1;
@@ -244,7 +244,7 @@ impl XpressDoc {
                     pos += used + len;
                     f(tok, &[]);
                 }
-                t if (t - TOK_BASE) % 2 == 0 => {
+                t if (t - TOK_BASE).is_multiple_of(2) => {
                     let payload = &self.stream[pos..pos + 8];
                     pos += 8;
                     f(t, payload);

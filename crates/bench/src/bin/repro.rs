@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] <experiment>...
 //! experiments: table1 fig6-left fig6-right fig7 partition storage-overhead
-//!              ablation-codecs all
+//!              ablation-codecs loading all
 //! ```
 //!
 //! Results are printed as tables and appended as JSON under `results/`.
@@ -11,6 +11,7 @@
 use std::fs;
 use std::path::Path;
 use xquec_bench::experiments::{self, Profile};
+use xquec_bench::json::ToJson;
 use xquec_bench::{human_bytes, print_table};
 
 fn main() {
@@ -26,6 +27,7 @@ fn main() {
             "partition".into(),
             "storage-overhead".into(),
             "ablation-codecs".into(),
+            "loading".into(),
             "fig7".into(),
         ];
     }
@@ -156,6 +158,28 @@ fn main() {
                 );
                 save(results_dir, "ablation_codecs", &rows);
             }
+            "loading" => {
+                let rows = experiments::loading(p);
+                print_table(
+                    &["dataset", "size", "threads", "1-thread (s)", "parallel (s)", "speedup", "identical"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.dataset.clone(),
+                                human_bytes(r.bytes),
+                                r.threads.to_string(),
+                                format!("{:.3}", r.sequential_s),
+                                format!("{:.3}", r.parallel_s),
+                                format!("{:.2}x", r.speedup),
+                                r.identical.to_string(),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                assert!(rows.iter().all(|r| r.identical), "parallel load must be deterministic");
+                save(results_dir, "BENCH_loading", &rows);
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
@@ -184,9 +208,8 @@ fn print_cf(rows: &[experiments::CfRow]) {
     );
 }
 
-fn save<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
+fn save<T: ToJson>(dir: &Path, name: &str, value: &T) {
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    fs::write(&path, json).expect("write results");
+    fs::write(&path, value.to_json().pretty()).expect("write results");
     println!("(saved {})", path.display());
 }

@@ -5,7 +5,6 @@
 //! example, E6 = the §2.2 storage-overhead claims, A1 = the codec ablation
 //! behind §2.1's choice of ALM.
 
-use serde::Serialize;
 use xquec_baselines::{GalaxEngine, XgrindDoc, XmillDoc, XpressDoc};
 use xquec_core::cost::{Configuration, CostModel, CostWeights, Group};
 use xquec_core::loader::{load, load_with, LoaderOptions};
@@ -71,7 +70,7 @@ impl Profile {
 // ---- E1: Table 1 ----------------------------------------------------------
 
 /// One dataset characterization row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct DatasetRow {
     /// Dataset name.
     pub name: String,
@@ -113,7 +112,7 @@ pub fn table1(p: Profile) -> Vec<DatasetRow> {
 // ---- E2/E3: Fig. 6 compression factors -----------------------------------
 
 /// Compression factors of every system on one document.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct CfRow {
     /// Dataset name.
     pub dataset: String,
@@ -187,7 +186,7 @@ pub fn fig6_right(p: Profile) -> Vec<CfRow> {
 // ---- E4: Fig. 7 query execution times -------------------------------------
 
 /// Per-query timing row.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct QetRow {
     /// XMark query id.
     pub query: String,
@@ -206,7 +205,7 @@ pub struct QetRow {
 }
 
 /// Timing context reported alongside Fig. 7.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig7Report {
     /// Document size in bytes.
     pub bytes: usize,
@@ -265,7 +264,7 @@ pub fn fig7(p: Profile) -> Fig7Report {
 // ---- E5: the §3.3 partitioning example ------------------------------------
 
 /// Result of the NaiveConf-vs-GoodConf comparison.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct PartitionReport {
     /// CF of the naive single-group ALM configuration.
     pub naive_cf: f64,
@@ -324,11 +323,11 @@ pub fn partition_example(p: Profile) -> PartitionReport {
     w.push(ContainerId(0), Some(ContainerId(1)), PredOp::Ineq);
     w.push(ContainerId(1), Some(ContainerId(2)), PredOp::Ineq);
     let matrices = w.matrices(5);
-    let mut cm = CostModel::new(&stats, &matrices, CostWeights::default());
+    let cm = CostModel::new(&stats, &matrices, CostWeights::default());
 
     let all: Vec<ContainerId> = (0..5).map(ContainerId).collect();
     let naive = Configuration { groups: vec![Group { containers: all.clone(), alg: xquec_compress::CodecKind::Alm }] };
-    let good = xquec_core::partition::choose_configuration(&mut cm, &w, xquec_core::partition::DEFAULT_POOL);
+    let good = xquec_core::partition::choose_configuration(&cm, &w, xquec_core::partition::DEFAULT_POOL);
 
     // Measure actual compression under both configurations.
     let measure = |cfg: &Configuration| -> f64 {
@@ -364,7 +363,7 @@ pub fn partition_example(p: Profile) -> PartitionReport {
 // ---- E6: §2.2 storage-overhead claims --------------------------------------
 
 /// Storage-overhead measurements.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct StorageRow {
     /// Document size.
     pub bytes: usize,
@@ -399,7 +398,7 @@ pub fn storage_overhead(p: Profile) -> Vec<StorageRow> {
 // ---- A1: codec ablation -----------------------------------------------------
 
 /// Codec measurement on one value corpus.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct CodecRow {
     /// Corpus name.
     pub corpus: String,
@@ -481,3 +480,99 @@ pub fn ablation_codecs(p: Profile) -> Vec<CodecRow> {
     }
     out
 }
+
+// ---- E7: parallel loading ---------------------------------------------------
+
+/// Sequential-vs-parallel load timing on one document.
+#[derive(Debug)]
+pub struct LoadingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Document size in bytes.
+    pub bytes: usize,
+    /// Worker threads used for the parallel run.
+    pub threads: usize,
+    /// Load+compress wall-clock with one thread.
+    pub sequential_s: f64,
+    /// Load+compress wall-clock with `threads` threads.
+    pub parallel_s: f64,
+    /// `sequential_s / parallel_s`.
+    pub speedup: f64,
+    /// The two repositories persist to byte-identical images.
+    pub identical: bool,
+}
+
+/// Persist a repository to a scratch file and return the image bytes (the
+/// strictest equality check available: every container byte, pointer and
+/// summary entry participates).
+fn repo_image(repo: &xquec_core::Repository, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir()
+        .join(format!("xquec-bench-loading-{}-{tag}.xqc", std::process::id()));
+    xquec_core::persist::save(repo, &path).expect("persist repository");
+    let bytes = std::fs::read(&path).expect("read persisted repository");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// E7: the parallel load pipeline — wall-clock for 1 thread vs the machine
+/// width on XMark (with the paper workload) and Shakespeare (no workload),
+/// each at two sizes, plus the byte-identity check the pipeline guarantees.
+pub fn loading(p: Profile) -> Vec<LoadingRow> {
+    let (small, large) = if p.quick { (150_000, 600_000) } else { (2_000_000, 8_000_000) };
+    let threads = xquec_core::par::effective_threads(0);
+    let reps = if p.quick { 1 } else { 3 };
+    [(Dataset::Xmark, small), (Dataset::Xmark, large),
+     (Dataset::Shakespeare, small), (Dataset::Shakespeare, large)]
+        .into_iter()
+        .map(|(ds, bytes)| {
+            let xml = ds.generate(bytes);
+            let workload =
+                (ds == Dataset::Xmark).then(xmark_workload);
+            let opts = |threads: usize| LoaderOptions {
+                workload: workload.clone(),
+                threads,
+                ..Default::default()
+            };
+            let (seq_opts, par_opts) = (opts(1), opts(threads));
+            let (repo_seq, sequential_s) =
+                time_median(reps, || load_with(&xml, &seq_opts).expect("load"));
+            let (repo_par, parallel_s) =
+                time_median(reps, || load_with(&xml, &par_opts).expect("load"));
+            let identical = repo_image(&repo_seq, "seq") == repo_image(&repo_par, "par");
+            LoadingRow {
+                dataset: ds.name().to_owned(),
+                bytes: xml.len(),
+                threads,
+                sequential_s,
+                parallel_s,
+                speedup: sequential_s / parallel_s.max(1e-9),
+                identical,
+            }
+        })
+        .collect()
+}
+
+// ---- JSON emission ----------------------------------------------------------
+
+use crate::json::{Json, ToJson};
+
+/// Implement [`ToJson`] field-by-field, preserving declaration order (the
+/// layout `serde_json` used to emit for these rows).
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::obj(vec![$((stringify!($field), self.$field.to_json())),+])
+            }
+        }
+    };
+}
+
+impl_to_json!(DatasetRow { name, bytes, nodes, distinct_names, containers, summary_nodes, value_ratio });
+impl_to_json!(CfRow { dataset, bytes, xquec_query, xquec_archive, xmill, xgrind, xpress });
+impl_to_json!(QetRow { query, xquec_s, galax_s, xquec_decompressions, xquec_compressed_ops, results_match });
+impl_to_json!(Fig7Report { bytes, xquec_load_s, galax_load_s, xquec_footprint, galax_footprint, rows });
+impl_to_json!(PartitionReport { naive_cf, good_cf, good_groups, naive_cost, good_cost });
+impl_to_json!(StorageRow { bytes, summary_fraction, cf_full, access_structure_factor });
+impl_to_json!(CodecRow { corpus, codec, ratio, decompress_mb_s, properties });
+impl_to_json!(LoadingRow { dataset, bytes, threads, sequential_s, parallel_s, speedup, identical });

@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md` can cite exact numbers.
 
 pub mod experiments;
+pub mod json;
 
 use std::time::Instant;
 

@@ -164,7 +164,7 @@ impl Alm {
             let mut lo = 0usize;
             let mut hi = budget.min(256usize.saturating_sub(single_tokens.len()));
             while lo < hi {
-                let mid = (lo + hi + 1) / 2;
+                let mid = (lo + hi).div_ceil(2);
                 if build(mid).interval_count() <= 256 {
                     lo = mid;
                 } else {
@@ -343,7 +343,7 @@ impl Alm {
                 }
             }
             _ => {
-                debug_assert!(data.len() % 2 == 0, "odd ALM payload");
+                debug_assert!(data.len().is_multiple_of(2), "odd ALM payload");
                 for pair in data.chunks_exact(2) {
                     let code = u16::from_be_bytes([pair[0], pair[1]]) as usize;
                     let tok = self.code_token[code];

@@ -108,7 +108,7 @@ impl Arith {
         let encode_symbol = |w: &mut BitWriter, s: usize, low: &mut u64, high: &mut u64, pending: &mut usize| {
             let range = *high - *low + 1;
             *high = *low + range * self.cum[s + 1] / total - 1;
-            *low = *low + range * self.cum[s] / total;
+            *low += range * self.cum[s] / total;
             loop {
                 if *high < HALF {
                     emit(w, false, pending);
@@ -170,7 +170,7 @@ impl Arith {
             }
             out.push(s as u8);
             high = low + range * self.cum[s + 1] / total - 1;
-            low = low + range * self.cum[s] / total;
+            low += range * self.cum[s] / total;
             loop {
                 if high < HALF {
                     // nothing

@@ -19,7 +19,7 @@ pub fn suffix_array(data: &[u8]) -> Vec<u32> {
         let key = |i: usize, rank: &[i64]| -> (i64, i64) {
             (rank[i], if i + k < n { rank[i + k] } else { -1 })
         };
-        sa.sort_unstable_by(|&a, &b| key(a as usize, &rank).cmp(&key(b as usize, &rank)));
+        sa.sort_unstable_by_key(|&a| key(a as usize, &rank));
         tmp[sa[0] as usize] = 0;
         for w in 1..n {
             let prev = key(sa[w - 1] as usize, &rank);

@@ -147,8 +147,8 @@ impl Huffman {
             return 8.0;
         }
         let mut bits = 0.0f64;
-        for s in 0..SYMBOLS {
-            bits += freq[s] as f64 * self.codes[s].1 as f64;
+        for (s, &f) in freq.iter().enumerate() {
+            bits += f as f64 * self.codes[s].1 as f64;
         }
         bits / total as f64
     }
@@ -172,14 +172,14 @@ fn code_lengths(freq: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
         next += 1;
     }
     let mut lengths = [0u8; SYMBOLS];
-    for s in 0..SYMBOLS {
+    for (s, len) in lengths.iter_mut().enumerate() {
         let mut depth = 0u8;
         let mut n = s;
         while parent[n] != usize::MAX {
             n = parent[n];
             depth += 1;
         }
-        lengths[s] = depth.max(1);
+        *len = depth.max(1);
     }
     lengths
 }

@@ -122,9 +122,9 @@ fn hu_tucker_lengths(freq: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
     let mut seq: Vec<Option<Slot>> =
         (0..n).map(|s| Some(Slot { weight: freq[s], node: s as u32, is_leaf: true })).collect();
     let mut parent: Vec<u32> = vec![u32::MAX; 2 * n - 1];
-    let mut next_node = n as u32;
 
-    for _ in 0..n - 1 {
+    for round in 0..n - 1 {
+        let next_node = (n + round) as u32;
         // Find the minimal compatible pair (w_i + w_j, i, j).
         let mut best: Option<(u64, usize, usize)> = None;
         let live: Vec<usize> =
@@ -134,7 +134,7 @@ fn hu_tucker_lengths(freq: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
             for &j in &live[li + 1..] {
                 let sj = seq[j].expect("live");
                 let cand = (si.weight + sj.weight, i, j);
-                if best.map_or(true, |b| cand < b) {
+                if best.is_none_or(|b| cand < b) {
                     best = Some(cand);
                 }
                 if sj.is_leaf {
@@ -148,18 +148,17 @@ fn hu_tucker_lengths(freq: &[u64; SYMBOLS]) -> [u8; SYMBOLS] {
         parent[nj as usize] = next_node;
         seq[i] = Some(Slot { weight: w, node: next_node, is_leaf: false });
         seq[j] = None;
-        next_node += 1;
     }
 
     let mut lengths = [0u8; SYMBOLS];
-    for s in 0..n {
+    for (s, len) in lengths.iter_mut().enumerate().take(n) {
         let mut d = 0u8;
         let mut v = s as u32;
         while parent[v as usize] != u32::MAX {
             v = parent[v as usize];
             d += 1;
         }
-        lengths[s] = d.max(1);
+        *len = d.max(1);
     }
     lengths
 }
@@ -238,10 +237,7 @@ mod tests {
             let (cb, lb) = h.codes[a + 1];
             // Alphabetical: code_a padded comparison < code_b.
             let m = la.max(lb);
-            assert!(
-                (ca << (m - la)) < (cb << (m - lb)) || (ca << (m - la)) == (cb << (m - lb)),
-                "codes not monotone at {a}"
-            );
+            assert!((ca << (m - la)) <= (cb << (m - lb)), "codes not monotone at {a}");
         }
         for a in 0..SYMBOLS {
             for b in 0..SYMBOLS {

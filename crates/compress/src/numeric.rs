@@ -126,7 +126,7 @@ fn format_scaled(v: i128, scale: u8) -> String {
 /// byte comparison is numeric comparison.
 pub fn encode_i128(v: i128) -> Vec<u8> {
     let mag = v.unsigned_abs();
-    let len = ((128 - mag.leading_zeros() as usize) + 7) / 8; // 0 for v == 0
+    let len = (128 - mag.leading_zeros() as usize).div_ceil(8); // 0 for v == 0
     let be = mag.to_be_bytes();
     let mut out = Vec::with_capacity(len + 1);
     if v >= 0 {

@@ -233,8 +233,8 @@ impl Container {
     pub fn decompress(&self, idx: u32) -> String {
         match &self.store {
             Store::Individual { comps } => {
-                String::from_utf8(self.codec.decompress(&comps[idx as usize]))
-                    .expect("container values are UTF-8")
+                String::from_utf8_lossy(&self.codec.decompress(&comps[idx as usize]))
+                    .into_owned()
             }
             Store::Block { .. } => self.decompress_all()[idx as usize].clone(),
         }
@@ -246,7 +246,7 @@ impl Container {
         match &self.store {
             Store::Individual { comps } => comps
                 .iter()
-                .map(|c| String::from_utf8(self.codec.decompress(c)).expect("UTF-8"))
+                .map(|c| String::from_utf8_lossy(&self.codec.decompress(c)).into_owned())
                 .collect(),
             Store::Block { data } => {
                 let concat = blz::decompress(data);
@@ -256,9 +256,7 @@ impl Container {
                     let (len, used) =
                         xquec_compress::bitio::read_varint(&concat[pos..]).expect("corrupt block");
                     pos += used;
-                    out.push(
-                        String::from_utf8(concat[pos..pos + len].to_vec()).expect("UTF-8"),
-                    );
+                    out.push(String::from_utf8_lossy(&concat[pos..pos + len]).into_owned());
                     pos += len;
                 }
                 out

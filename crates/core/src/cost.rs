@@ -19,6 +19,7 @@ use crate::ids::ContainerId;
 use crate::stats::ContainerStats;
 use crate::workload::Matrices;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use xquec_compress::{CodecKind, ValueCodec};
 
 /// One set of the partition `P` with its assigned algorithm.
@@ -73,28 +74,36 @@ impl Default for CostWeights {
 }
 
 /// Cost evaluator, caching trained group codecs across configurations.
+///
+/// The trained-codec cache sits behind a mutex so configuration candidates
+/// can be costed concurrently (`&self`) from the parallel greedy search —
+/// profiles are pure functions of `(group, algorithm)`, so results are
+/// identical whatever order threads fill the cache in.
 pub struct CostModel<'a> {
     stats: &'a [ContainerStats],
     matrices: &'a Matrices,
     weights: CostWeights,
     /// Cache: (sorted group containers, alg) -> (per-container ratios, model size).
-    cache: HashMap<(Vec<ContainerId>, CodecKind), (Vec<f64>, usize)>,
+    cache: Mutex<HashMap<(Vec<ContainerId>, CodecKind), GroupProfile>>,
 }
+
+/// Per-container compression ratios plus the shared source-model size.
+type GroupProfile = (Vec<f64>, usize);
 
 impl<'a> CostModel<'a> {
     /// Create a cost model over container statistics and workload matrices.
     pub fn new(stats: &'a [ContainerStats], matrices: &'a Matrices, weights: CostWeights) -> Self {
-        CostModel { stats, matrices, weights, cache: HashMap::new() }
+        CostModel { stats, matrices, weights, cache: Mutex::new(HashMap::new()) }
     }
 
     /// Total cost of a configuration.
-    pub fn cost(&mut self, cfg: &Configuration) -> f64 {
+    pub fn cost(&self, cfg: &Configuration) -> f64 {
         self.weights.storage * self.storage_cost(cfg)
             + self.weights.decompression * self.decompression_cost(cfg)
     }
 
     /// Storage component: `Σ_p (Σ_{c∈p} ratio_c(p) * |c|) + model(p)`.
-    pub fn storage_cost(&mut self, cfg: &Configuration) -> f64 {
+    pub fn storage_cost(&self, cfg: &Configuration) -> f64 {
         let mut total = 0.0f64;
         for g in &cfg.groups {
             let (ratios, model) = self.group_profile(&g.containers, g.alg);
@@ -107,19 +116,19 @@ impl<'a> CostModel<'a> {
     }
 
     /// Decompression component per the §3.2 case analysis.
-    pub fn decompression_cost(&mut self, cfg: &Configuration) -> f64 {
+    pub fn decompression_cost(&self, cfg: &Configuration) -> f64 {
         let n = self.matrices.n;
         let mut total = 0.0f64;
-        let classes: [(&Vec<Vec<u32>>, fn(CodecKind) -> bool); 3] = [
+        type SupportsFn = fn(CodecKind) -> bool;
+        let classes: [(&Vec<Vec<u32>>, SupportsFn); 3] = [
             (&self.matrices.e, |a| a.properties().eq),
             (&self.matrices.i, |a| a.properties().ineq),
             (&self.matrices.d, |a| a.properties().wild),
         ];
         for (m, supports) in classes {
             // Walk the upper triangle including the constant column.
-            for i in 0..=n {
-                for j in i..=n {
-                    let count = m[i][j];
+            for (i, row) in m.iter().enumerate().take(n + 1) {
+                for (j, &count) in row.iter().enumerate().take(n + 1).skip(i) {
                     if count == 0 || (i == n && j == n) {
                         continue;
                     }
@@ -180,10 +189,10 @@ impl<'a> CostModel<'a> {
 
     /// Measured `(per-container compression ratios, model size)` for a group
     /// under an algorithm, trained on the union of the group's samples.
-    fn group_profile(&mut self, containers: &[ContainerId], alg: CodecKind) -> (Vec<f64>, usize) {
+    fn group_profile(&self, containers: &[ContainerId], alg: CodecKind) -> (Vec<f64>, usize) {
         let mut key: Vec<ContainerId> = containers.to_vec();
         key.sort();
-        if let Some(v) = self.cache.get(&(key.clone(), alg)) {
+        if let Some(v) = self.cache.lock().expect("cost cache lock").get(&(key.clone(), alg)) {
             return v.clone();
         }
         let corpus: Vec<&[u8]> = containers
@@ -217,7 +226,7 @@ impl<'a> CostModel<'a> {
         } else {
             (ratios, codec.model_size())
         };
-        self.cache.insert((key, alg), (ratios.clone(), model));
+        self.cache.lock().expect("cost cache lock").insert((key, alg), (ratios.clone(), model));
         (ratios, model)
     }
 }
@@ -242,7 +251,7 @@ mod tests {
         let mut w = Workload::new();
         w.push(ContainerId(0), Some(ContainerId(1)), PredOp::Ineq);
         let m = w.matrices(3);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
 
         // Separate groups with ALM: both sides charged.
         let separate = Configuration::singletons(
@@ -280,7 +289,7 @@ mod tests {
         let mut w = Workload::new();
         w.push(ContainerId(0), None, PredOp::Eq);
         let m = w.matrices(3);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
         let huff = Configuration::singletons(
             &[ContainerId(0), ContainerId(1), ContainerId(2)],
             CodecKind::Huffman,
@@ -296,7 +305,7 @@ mod tests {
         let stats = stats3();
         let w = Workload::new();
         let m = w.matrices(3);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
         let raw = Configuration::singletons(
             &[ContainerId(0), ContainerId(1), ContainerId(2)],
             CodecKind::Raw,

@@ -18,6 +18,7 @@ pub mod cost;
 pub mod dictionary;
 pub mod ids;
 pub mod loader;
+pub mod par;
 pub mod partition;
 pub mod persist;
 pub mod queries;

@@ -7,12 +7,22 @@
 //! search to partition the textual containers and pick codecs, and phase C
 //! trains one source model per partition set and compresses every value
 //! individually (or block-compresses untouched containers, §3.3).
+//!
+//! Everything after the single-pass parse fans out over
+//! [`LoaderOptions::threads`] worker threads: per-container statistics and
+//! numeric detection, cost-model candidate evaluation, per-group codec
+//! training, and per-container compression + sorted-record assembly each run
+//! as an order-preserving [`crate::par::par_map`]. Container ids are
+//! assigned in sorted path order *before* the fan-out and results are
+//! reassembled in that order, so the repository is byte-identical whatever
+//! the thread count.
 
 use crate::container::{Container, ContainerLeaf, ValueType};
 use crate::cost::{CostModel, CostWeights};
 use crate::dictionary::NameDictionary;
 use crate::ids::{ContainerId, ElemId, PathId};
-use crate::partition::{choose_configuration, DEFAULT_POOL};
+use crate::par::{par_map, par_map_into};
+use crate::partition::{choose_configuration_threaded, DEFAULT_POOL};
 use crate::repo::Repository;
 use crate::stats::ContainerStats;
 use crate::structure::{StructureTree, ValueRef};
@@ -76,6 +86,10 @@ pub struct LoaderOptions {
     pub block_untouched: bool,
     /// Cost-model weights.
     pub weights: CostWeights,
+    /// Worker threads for the post-parse pipeline (statistics, cost search,
+    /// codec training, container builds). `0` means one per hardware thread;
+    /// the produced repository is byte-identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for LoaderOptions {
@@ -86,6 +100,7 @@ impl Default for LoaderOptions {
             default_string_codec: CodecKind::Alm,
             block_untouched: true,
             weights: CostWeights::default(),
+            threads: 0,
         }
     }
 }
@@ -171,19 +186,20 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
         summary.set_container(p, cid);
     }
 
-    // Statistics + numeric detection per container.
-    let mut stats: Vec<ContainerStats> = Vec::with_capacity(paths.len());
-    let mut vtypes: Vec<ValueType> = Vec::with_capacity(paths.len());
-    for &p in &paths {
-        let values = &pending[&p];
-        stats.push(ContainerStats::from_values(values.iter().map(|(v, _)| v.as_str())));
-        let vt = match NumericCodec::detect(values.iter().map(|(v, _)| v.as_bytes())) {
-            Some(c) if c.scale == 0 => ValueType::Int,
-            Some(c) => ValueType::Decimal(c.scale),
-            None => ValueType::Str,
-        };
-        vtypes.push(vt);
-    }
+    // Statistics + numeric detection per container (independent per path).
+    let (stats, vtypes): (Vec<ContainerStats>, Vec<ValueType>) =
+        par_map(opts.threads, &paths, |_, p| {
+            let values = &pending[p];
+            let st = ContainerStats::from_values(values.iter().map(|(v, _)| v.as_str()));
+            let vt = match NumericCodec::detect(values.iter().map(|(v, _)| v.as_bytes())) {
+                Some(c) if c.scale == 0 => ValueType::Int,
+                Some(c) => ValueType::Decimal(c.scale),
+                None => ValueType::Str,
+            };
+            (st, vt)
+        })
+        .into_iter()
+        .unzip();
 
     // ---- Phase B: compression configuration ----------------------------
     // Build a temporary repository view for path resolution of the workload.
@@ -234,8 +250,9 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
             .collect(),
     };
     let matrices = textual_workload.matrices(paths.len());
-    let mut cost_model = CostModel::new(&stats, &matrices, opts.weights);
-    let config = choose_configuration(&mut cost_model, &textual_workload, &opts.pool);
+    let cost_model = CostModel::new(&stats, &matrices, opts.weights);
+    let config =
+        choose_configuration_threaded(&cost_model, &textual_workload, &opts.pool, opts.threads);
 
     // Map container -> chosen codec kind (None = untouched by workload).
     let mut chosen: Vec<Option<CodecKind>> = vec![None; paths.len()];
@@ -258,57 +275,76 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
     }
 
     // ---- Phase C: train shared models and build containers -------------
-    // One codec per configuration group.
-    let mut group_codec: HashMap<usize, Arc<ValueCodec>> = HashMap::new();
-    for (gi, g) in config.groups.iter().enumerate() {
+    // One codec per configuration group, trained concurrently; group index
+    // keys the map, so the fill order is irrelevant.
+    let trained: Vec<Option<Arc<ValueCodec>>> = par_map(opts.threads, &config.groups, |_, g| {
         if g.alg == CodecKind::Blz {
-            continue; // handled as block storage below
+            return None; // handled as block storage below
         }
         let corpus: Vec<&[u8]> = g
             .containers
             .iter()
             .flat_map(|&c| pending[&paths[c.0 as usize]].iter().map(|(v, _)| v.as_bytes()))
             .collect();
-        group_codec.insert(gi, Arc::new(ValueCodec::train(g.alg, &corpus)));
-    }
+        Some(Arc::new(ValueCodec::train(g.alg, &corpus)))
+    });
+    let group_codec: HashMap<usize, Arc<ValueCodec>> = trained
+        .into_iter()
+        .enumerate()
+        .filter_map(|(gi, c)| c.map(|c| (gi, c)))
+        .collect();
 
-    let mut tree = tree;
-    let mut containers: Vec<Container> = Vec::with_capacity(paths.len());
-    for (i, &p) in paths.iter().enumerate() {
-        let cid = ContainerId(i as u32);
-        let values = pending.remove(&p).expect("each path built once");
-        let leaf = leaf_kind[&p];
-        let vtype = vtypes[i];
+    // Per-container compression + sorted-record assembly fan out; container
+    // ids were fixed in path order above and par_map_into returns results in
+    // that same order, so the repository layout matches a sequential build.
+    let values_by_path: Vec<Vec<(String, ElemId)>> =
+        paths.iter().map(|p| pending.remove(p).expect("each path built once")).collect();
+    let built: Vec<(Container, Vec<(ElemId, u32)>)> =
+        par_map_into(opts.threads, values_by_path, |i, values| {
+            let cid = ContainerId(i as u32);
+            let p = paths[i];
+            let leaf = leaf_kind[&p];
+            let vtype = vtypes[i];
 
-        let (container, refs) = if vtype != ValueType::Str {
-            // Numeric container: order-preserving numeric codec.
-            let corpus: Vec<&[u8]> = values.iter().map(|(v, _)| v.as_bytes()).collect();
-            let codec = Arc::new(ValueCodec::train(CodecKind::Numeric, &corpus));
-            Container::build(cid, p, leaf, vtype, codec, values)
-        } else {
-            match chosen[i] {
-                Some(CodecKind::Blz) | None
-                    if opts.workload.is_some() && opts.block_untouched && !touched_any[i] =>
-                {
-                    // Untouched by the workload: block-compress (§3.3).
-                    Container::build_block(cid, p, leaf, vtype, values)
-                }
-                Some(alg) if alg != CodecKind::Blz => {
-                    let gi = config.group_of(cid);
-                    let codec = group_codec[&gi].clone();
-                    Container::build(cid, p, leaf, vtype, codec, values)
-                }
-                _ => {
-                    // No workload guidance: default string codec (ALM).
-                    let corpus: Vec<&[u8]> = values.iter().map(|(v, _)| v.as_bytes()).collect();
-                    let codec =
-                        Arc::new(ValueCodec::train(opts.default_string_codec, &corpus));
-                    Container::build(cid, p, leaf, vtype, codec, values)
+            if vtype != ValueType::Str {
+                // Numeric container: order-preserving numeric codec.
+                let corpus: Vec<&[u8]> = values.iter().map(|(v, _)| v.as_bytes()).collect();
+                let codec = Arc::new(ValueCodec::train(CodecKind::Numeric, &corpus));
+                Container::build(cid, p, leaf, vtype, codec, values)
+            } else {
+                match chosen[i] {
+                    Some(CodecKind::Blz) | None
+                        if opts.workload.is_some()
+                            && opts.block_untouched
+                            && !touched_any[i] =>
+                    {
+                        // Untouched by the workload: block-compress (§3.3).
+                        Container::build_block(cid, p, leaf, vtype, values)
+                    }
+                    Some(alg) if alg != CodecKind::Blz => {
+                        let gi = config.group_of(cid);
+                        let codec = group_codec[&gi].clone();
+                        Container::build(cid, p, leaf, vtype, codec, values)
+                    }
+                    _ => {
+                        // No workload guidance: default string codec (ALM).
+                        let corpus: Vec<&[u8]> =
+                            values.iter().map(|(v, _)| v.as_bytes()).collect();
+                        let codec =
+                            Arc::new(ValueCodec::train(opts.default_string_codec, &corpus));
+                        Container::build(cid, p, leaf, vtype, codec, values)
+                    }
                 }
             }
-        };
+        });
+
+    // Value-ref registration mutates the shared tree: kept sequential, in
+    // container order, exactly as the single-threaded loader did.
+    let mut tree = tree;
+    let mut containers: Vec<Container> = Vec::with_capacity(built.len());
+    for (container, refs) in built {
         for (elem, idx) in refs {
-            tree.add_value(elem, ValueRef { container: cid, index: idx });
+            tree.add_value(elem, ValueRef { container: container.id, index: idx });
         }
         containers.push(container);
     }
@@ -447,5 +483,34 @@ mod tests {
     #[test]
     fn malformed_document_is_error() {
         assert!(load("<a><b></a>").is_err());
+    }
+
+    /// The tentpole guarantee of the parallel loader: the persisted
+    /// repository is byte-identical whatever the thread count.
+    #[test]
+    fn parallel_load_is_byte_identical_to_sequential() {
+        let xml = xquec_xml::gen::Dataset::Xmark.generate(150_000);
+        let spec = WorkloadSpec::new()
+            .join("//buyer/@person", "//person/@id", PredOp::Eq)
+            .constant("//price/text()", PredOp::Ineq)
+            .project("//person/name/text()");
+
+        let dir = std::env::temp_dir().join(format!("xquec-par-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut images: Vec<Vec<u8>> = Vec::new();
+        for threads in [1usize, 4] {
+            let opts = LoaderOptions {
+                workload: Some(spec.clone()),
+                threads,
+                ..Default::default()
+            };
+            let repo = load_with(&xml, &opts).unwrap();
+            let file = dir.join(format!("repo-t{threads}.xqc"));
+            crate::persist::save(&repo, &file).unwrap();
+            images.push(std::fs::read(&file).unwrap());
+            std::fs::remove_file(&file).unwrap();
+        }
+        assert!(!images[0].is_empty());
+        assert_eq!(images[0], images[1], "1-thread vs 4-thread repositories differ");
     }
 }

@@ -1,0 +1,145 @@
+//! Deterministic fork-join parallelism for the load pipeline.
+//!
+//! The container doesn't ship rayon, so this is a small scoped-thread
+//! work-stealing map: workers pull item indices from a shared atomic
+//! counter, compute `f(index, &item)` independently, and the results are
+//! reassembled **in item order** — so any pipeline built on [`par_map`]
+//! produces output byte-identical to a sequential run, whatever the thread
+//! count or scheduling. Worker panics are propagated to the caller.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a requested thread count: `0` means "use the machine",
+/// anything else is taken literally (callers cap at the item count).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, returning the
+/// results in item order. Falls back to a plain sequential map when one
+/// thread suffices (no spawn overhead, bit-identical results either way).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for bucket in &mut buckets {
+        for (i, r) in bucket.drain(..) {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter().map(|r| r.expect("every index produced")).collect()
+}
+
+/// [`par_map`] over owned items: each item is handed to `f` by value
+/// (needed when the stage consumes its input, e.g. container construction
+/// taking the plaintext values). Results are in item order, like `par_map`.
+pub fn par_map_into<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if effective_threads(threads).min(items.len()) <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Each index is claimed by exactly one worker (par_map's atomic counter),
+    // so every cell is taken exactly once; the mutexes are uncontended.
+    let cells: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    par_map(threads, &cells, |i, cell| {
+        let item = cell.lock().expect("uncontended").take().expect("each cell taken once");
+        f(i, item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 7] {
+            let par = par_map(threads, &items, |_, &x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(4, &none, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[9u32], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn index_is_item_position() {
+        let items = ["a", "b", "c"];
+        let got = par_map(3, &items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn zero_threads_uses_machine_width() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(5), 5);
+        let items: Vec<u32> = (0..64).collect();
+        let got = par_map(0, &items, |_, &x| x + 1);
+        assert_eq!(got, (1..65).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn owned_variant_matches_sequential() {
+        let items: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+        let expect: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        for threads in [1, 3] {
+            let got = par_map_into(threads, items.clone(), |_, s| s + "!");
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        par_map(2, &items, |_, &x| {
+            assert!(x != 7, "boom");
+            x
+        });
+    }
+}

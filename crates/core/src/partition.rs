@@ -11,6 +11,7 @@
 //! `|Pred|`; like the paper's strategy it yields a locally optimal solution.
 
 use crate::cost::{Configuration, CostModel, Group};
+use crate::par::par_map;
 use crate::workload::{PredOp, Workload};
 use xquec_compress::CodecKind;
 
@@ -48,9 +49,25 @@ fn candidates(pool: &[CodecKind], op: PredOp) -> Vec<CodecKind> {
 /// an order-unaware algorithm with good ratios (bzip2) — the loader stores
 /// them block-compressed.
 pub fn choose_configuration(
-    cost_model: &mut CostModel<'_>,
+    cost_model: &CostModel<'_>,
     workload: &Workload,
     pool: &[CodecKind],
+) -> Configuration {
+    choose_configuration_threaded(cost_model, workload, pool, 1)
+}
+
+/// [`choose_configuration`] with the candidate configurations of each greedy
+/// step costed on up to `threads` worker threads (`0` = machine width).
+///
+/// Costing a candidate trains codecs on group samples, which dominates the
+/// search; the candidates of one step are independent, so they fan out while
+/// the winner selection stays sequential in move order — the chosen
+/// configuration is identical to the single-threaded search.
+pub fn choose_configuration_threaded(
+    cost_model: &CostModel<'_>,
+    workload: &Workload,
+    pool: &[CodecKind],
+    threads: usize,
 ) -> Configuration {
     let touched = workload.touched();
     let mut current = Configuration::singletons(&touched, CodecKind::Blz);
@@ -108,8 +125,11 @@ pub fn choose_configuration(
                 moves.push(s2);
             }
         }
-        for m in moves {
-            let c = cost_model.cost(&m);
+        // Cost every candidate in parallel, then pick the winner with the
+        // exact sequential rule (first strict improvement in move order, each
+        // later move compared against the improved bound).
+        let costs = par_map(threads, &moves, |_, m| cost_model.cost(m));
+        for (m, c) in moves.into_iter().zip(costs) {
             if c < current_cost {
                 current = m;
                 current_cost = c;
@@ -152,8 +172,8 @@ mod tests {
         }
         w.push(ContainerId(2), None, PredOp::Ineq);
         let m = w.matrices(3);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
-        let cfg = choose_configuration(&mut cm, &w, DEFAULT_POOL);
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cfg = choose_configuration(&cm, &w, DEFAULT_POOL);
 
         // Both prose containers share a group with an ineq-capable codec.
         let g0 = cfg.group_of(ContainerId(0));
@@ -174,8 +194,8 @@ mod tests {
             w.push(ContainerId(0), Some(ContainerId(1)), PredOp::Eq);
         }
         let m = w.matrices(2);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
-        let cfg = choose_configuration(&mut cm, &w, DEFAULT_POOL);
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cfg = choose_configuration(&cm, &w, DEFAULT_POOL);
         let g = cfg.group_of(ContainerId(0));
         assert_eq!(g, cfg.group_of(ContainerId(1)), "join sides share a model: {cfg:?}");
         assert!(cfg.groups[g].alg.properties().eq, "{cfg:?}");
@@ -190,8 +210,8 @@ mod tests {
         let mut w = Workload::new();
         w.push(ContainerId(0), None, PredOp::Eq);
         let m = w.matrices(2);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
-        let cfg = choose_configuration(&mut cm, &w, DEFAULT_POOL);
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cfg = choose_configuration(&cm, &w, DEFAULT_POOL);
         assert!(cfg.groups.iter().all(|g| !g.containers.contains(&ContainerId(1))));
     }
 
@@ -200,8 +220,8 @@ mod tests {
         let stats = mk_stats(&[]);
         let w = Workload::new();
         let m = w.matrices(0);
-        let mut cm = CostModel::new(&stats, &m, CostWeights::default());
-        let cfg = choose_configuration(&mut cm, &w, DEFAULT_POOL);
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cfg = choose_configuration(&cm, &w, DEFAULT_POOL);
         assert!(cfg.groups.is_empty());
     }
 }

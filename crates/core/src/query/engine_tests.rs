@@ -421,3 +421,76 @@ fn string_function_extensions() {
     assert_eq!(e.run("string-join(//person/name/text(), \", \")").unwrap(),
         "Alice Smith, Bob Jones, Carol King");
 }
+
+#[test]
+fn repeated_value_reads_hit_decompression_cache() {
+    let r = repo();
+    let e = Engine::new(&r);
+    // Every person's name is read once per closed auction (9 reads over 3
+    // distinct values): the memo decodes each value at most once.
+    e.run(
+        r#"for $t in //closed_auction
+           for $p in //person
+           return $p/name/text()"#,
+    )
+    .unwrap();
+    let stats = e.stats.borrow();
+    assert!(stats.cache_hits > 0, "{stats:?}");
+    assert!(
+        stats.decompressions <= 3,
+        "3 distinct names decode at most once each: {stats:?}"
+    );
+}
+
+#[test]
+fn block_container_decompressed_once_across_reads() {
+    // Workload touching only names: every other container is block storage.
+    let spec = WorkloadSpec::new().constant("//name/text()", PredOp::Eq);
+    let r = load_with(DOC, &LoaderOptions { workload: Some(spec), ..Default::default() })
+        .unwrap();
+    let ids = r.container_by_path("//person/@id").unwrap();
+    assert!(!r.container(ids).is_individual(), "untouched => block storage");
+
+    let e = Engine::new(&r);
+    e.run("//person/@id").unwrap();
+    let first = e.stats.borrow().clone();
+    assert!(first.decompressions > 0, "{first:?}");
+    assert_eq!(first.cache_misses, 1, "one wholesale inflation: {first:?}");
+
+    // Second query over the same block container: the LRU survives across
+    // queries, so no further decompression happens at all.
+    e.run("//person/@id").unwrap();
+    let second = e.stats.borrow().clone();
+    assert_eq!(second.decompressions, 0, "{second:?}");
+    assert!(second.cache_hits > 0, "{second:?}");
+}
+
+#[test]
+fn zero_capacity_block_cache_reinflates() {
+    let spec = WorkloadSpec::new().constant("//name/text()", PredOp::Eq);
+    let r = load_with(DOC, &LoaderOptions { workload: Some(spec), ..Default::default() })
+        .unwrap();
+    let e = Engine::with_block_cache_capacity(&r, 0);
+    e.run("//person/@id").unwrap();
+    let first = e.stats.borrow().decompressions;
+    assert!(first > 0);
+    e.run("//person/@id").unwrap();
+    assert_eq!(e.stats.borrow().decompressions, first, "re-inflated: no retention");
+}
+
+#[test]
+fn query_results_unchanged_by_caching() {
+    let r = repo();
+    let cached = Engine::new(&r);
+    let uncached = Engine::with_block_cache_capacity(&r, 0);
+    for q in [
+        "/site/people/person/name/text()",
+        "for $p in //person order by $p/age/text() return $p/age/text()",
+        r#"for $i in //item where contains($i/description, "gold") return $i/name/text()"#,
+        "sum(//closed_auction/price/text())",
+    ] {
+        assert_eq!(cached.run(q).unwrap(), uncached.run(q).unwrap(), "{q}");
+        // Run twice: warm-cache results identical too.
+        assert_eq!(cached.run(q).unwrap(), uncached.run(q).unwrap(), "{q} (warm)");
+    }
+}

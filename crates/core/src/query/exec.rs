@@ -20,6 +20,14 @@
 //!
 //! [`ExecStats`] counts decompressions and compressed-domain comparisons so
 //! tests and benchmarks can verify lazy decompression actually happens.
+//!
+//! Decompression is additionally *memoized*: a per-query cache maps a
+//! container's compressed bytes to an interned `Rc<str>`, so each distinct
+//! compressed value is decoded at most once per query however many operators
+//! touch it, and inflated block containers sit in a capacity-bounded LRU
+//! that survives across queries ([`Engine::with_block_cache_capacity`]).
+//! Cache traffic is visible through [`ExecStats::cache_hits`] /
+//! [`ExecStats::cache_misses`]; a hit does not count as a decompression.
 
 use super::ast::*;
 use super::parser::{parse, ParseError};
@@ -69,6 +77,10 @@ pub struct ExecStats {
     pub compressed_eq: usize,
     /// Order comparisons resolved on compressed bytes.
     pub compressed_cmp: usize,
+    /// Reads served from the decompression caches (no codec work done).
+    pub cache_hits: usize,
+    /// Reads that had to decompress and then populated a cache.
+    pub cache_misses: usize,
     /// Physical-operator trace (one entry per operator instantiation).
     pub operators: Vec<String>,
 }
@@ -86,6 +98,52 @@ struct Ctx {
     join_cache: RefCell<HashMap<usize, Rc<JoinIndex>>>,
 }
 
+/// Inflated block containers retained by default (see
+/// [`Engine::with_block_cache_capacity`]). Sized to hold every block
+/// container of the evaluation documents at once — a scan query that
+/// cycles through more containers than the capacity would otherwise
+/// re-inflate all of them on every pass.
+pub const DEFAULT_BLOCK_CACHE_CAPACITY: usize = 64;
+
+/// LRU of wholesale-inflated block containers. `capacity` bounds how many
+/// containers stay inflated; `0` disables retention entirely (every read
+/// re-inflates, the literal XMill cost model).
+struct BlockLru {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<ContainerId, (Rc<Vec<String>>, u64)>,
+}
+
+impl BlockLru {
+    fn new(capacity: usize) -> Self {
+        BlockLru { capacity, tick: 0, entries: HashMap::new() }
+    }
+
+    fn get(&mut self, cid: ContainerId) -> Option<Rc<Vec<String>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&cid).map(|e| {
+            e.1 = tick;
+            e.0.clone()
+        })
+    }
+
+    fn insert(&mut self, cid: ContainerId, values: Rc<Vec<String>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&cid) {
+            if let Some(&evict) =
+                self.entries.iter().min_by_key(|(_, (_, t))| *t).map(|(c, _)| c)
+            {
+                self.entries.remove(&evict);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(cid, (values, self.tick));
+    }
+}
+
 /// The XQueC query engine over one repository.
 pub struct Engine<'r> {
     repo: &'r Repository,
@@ -95,12 +153,24 @@ pub struct Engine<'r> {
     pub stats: RefCell<ExecStats>,
     /// Decompressed block containers (an XMill-style container must be
     /// inflated wholesale the first time any of its values is touched).
-    block_cache: RefCell<HashMap<ContainerId, Rc<Vec<String>>>>,
+    block_cache: RefCell<BlockLru>,
+    /// Per-query memo: compressed bytes of an individual container record →
+    /// interned plaintext. Cleared at the start of every query.
+    value_cache: RefCell<HashMap<ContainerId, ValueMemo>>,
 }
+
+/// Interned plaintexts of one container, keyed by compressed bytes.
+type ValueMemo = HashMap<Box<[u8]>, Rc<str>>;
 
 impl<'r> Engine<'r> {
     /// Build an engine (computes the subtree-range table once).
     pub fn new(repo: &'r Repository) -> Self {
+        Self::with_block_cache_capacity(repo, DEFAULT_BLOCK_CACHE_CAPACITY)
+    }
+
+    /// Build an engine retaining at most `capacity` inflated block
+    /// containers across queries (`0` = re-inflate on every touch).
+    pub fn with_block_cache_capacity(repo: &'r Repository, capacity: usize) -> Self {
         let n = repo.tree.len();
         let mut subtree_end = vec![0u32; n];
         for i in (0..n).rev() {
@@ -117,34 +187,35 @@ impl<'r> Engine<'r> {
             repo,
             subtree_end,
             stats: RefCell::new(ExecStats::default()),
-            block_cache: RefCell::new(HashMap::new()),
+            block_cache: RefCell::new(BlockLru::new(capacity)),
+            value_cache: RefCell::new(HashMap::new()),
         }
     }
 
     /// Read one value of a block container, inflating the whole container on
     /// first touch (the deliberate cost of XMill-style storage).
     fn block_value(&self, cid: ContainerId, idx: u32) -> String {
-        let cached = self.block_cache.borrow().get(&cid).cloned();
-        let all = match cached {
-            Some(a) => a,
-            None => {
-                let c = self.repo.container(cid);
-                self.stats.borrow_mut().decompressions += c.len();
-                let a = Rc::new(c.decompress_all());
-                self.block_cache.borrow_mut().insert(cid, a.clone());
-                a
-            }
-        };
+        if let Some(all) = self.block_cache.borrow_mut().get(cid) {
+            self.stats.borrow_mut().cache_hits += 1;
+            return all[idx as usize].clone();
+        }
+        let c = self.repo.container(cid);
+        {
+            let mut st = self.stats.borrow_mut();
+            st.cache_misses += 1;
+            st.decompressions += c.len();
+        }
+        let all = Rc::new(c.decompress_all());
+        self.block_cache.borrow_mut().insert(cid, all.clone());
         all[idx as usize].clone()
     }
 
     /// Read one container value as plaintext, going through the block cache
-    /// for block containers and the per-value codec otherwise.
+    /// for block containers and the per-value memo otherwise.
     fn read_value(&self, cid: ContainerId, idx: u32) -> String {
         let c = self.repo.container(cid);
         if c.is_individual() {
-            self.stats.borrow_mut().decompressions += 1;
-            c.decompress(idx)
+            self.decompress_interned(cid, c.compressed(idx)).to_string()
         } else {
             self.block_value(cid, idx)
         }
@@ -159,6 +230,7 @@ impl<'r> Engine<'r> {
     /// Parse and evaluate a query, returning the raw sequence.
     pub fn eval_query(&self, query: &str) -> Result<Sequence, QueryError> {
         *self.stats.borrow_mut() = ExecStats::default();
+        self.value_cache.borrow_mut().clear();
         let ast = parse(query)?;
         let ctx = Ctx { join_cache: RefCell::new(HashMap::new()) };
         let mut env: Env = Vec::new();
@@ -1373,11 +1445,39 @@ impl<'r> Engine<'r> {
 
     // ---- string/number views -------------------------------------------
 
-    /// Decompress a container value (counted).
+    /// Decompress a container value (counted, memoized per query).
     fn decompress(&self, container: ContainerId, bytes: &[u8]) -> String {
-        self.stats.borrow_mut().decompressions += 1;
-        String::from_utf8(self.repo.container(container).codec().decompress(bytes))
-            .expect("container values are UTF-8")
+        self.decompress_interned(container, bytes).to_string()
+    }
+
+    /// Decompress a container value through the per-query memo: each
+    /// distinct compressed byte string decodes at most once per query, and
+    /// repeated readers share one interned `Rc<str>`. Only a miss counts as
+    /// a decompression.
+    fn decompress_interned(&self, container: ContainerId, bytes: &[u8]) -> Rc<str> {
+        if let Some(hit) = self
+            .value_cache
+            .borrow()
+            .get(&container)
+            .and_then(|m| m.get(bytes))
+            .cloned()
+        {
+            self.stats.borrow_mut().cache_hits += 1;
+            return hit;
+        }
+        {
+            let mut st = self.stats.borrow_mut();
+            st.cache_misses += 1;
+            st.decompressions += 1;
+        }
+        let raw = self.repo.container(container).codec().decompress(bytes);
+        let plain: Rc<str> = Rc::from(String::from_utf8_lossy(&raw).into_owned());
+        self.value_cache
+            .borrow_mut()
+            .entry(container)
+            .or_default()
+            .insert(bytes.to_vec().into_boxed_slice(), plain.clone());
+        plain
     }
 
     /// The XPath string value of an item.

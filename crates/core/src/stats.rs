@@ -163,11 +163,11 @@ mod tests {
             ContainerStats::from_values(["one", "five"]),
         ];
         let f = similarity_matrix(&stats);
-        for i in 0..3 {
-            assert!((f[i][i] - 1.0).abs() < 1e-12);
-            for j in 0..3 {
-                assert!((f[i][j] - f[j][i]).abs() < 1e-12);
-                assert!((0.0..=1.0).contains(&f[i][j]));
+        for (i, row) in f.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - f[j][i]).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&v));
             }
         }
     }

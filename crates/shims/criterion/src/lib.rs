@@ -1,0 +1,207 @@
+//! A hermetic, dependency-free stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's `harness = false` benches
+//! use — `Criterion::benchmark_group`, `sample_size`, `measurement_time`,
+//! `throughput`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! harness. Each bench function runs a warm-up iteration, then samples until
+//! the measurement time or sample count is reached, and prints median /
+//! mean / min timings (plus throughput when configured).
+//!
+//! No statistical analysis, HTML reports, or baseline comparisons: the goal
+//! is that `cargo bench` runs offline and prints honest numbers.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink (re-export shape of criterion's).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Create a context, honouring a `cargo bench -- <filter>` substring.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            filter: self.filter.clone(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Bench a function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate throughput so results print MB/s or Melem/s.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        if let Some(flt) = &self.filter {
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples: Vec::new(), budget: self.measurement_time, max_samples: self.sample_size };
+        f(&mut b);
+        report(&full, &b.samples, self.throughput);
+        self
+    }
+
+    /// End the group (printing is per-bench; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!("  {:.1} MB/s", b as f64 / 1e6 / median.as_secs_f64().max(1e-12)),
+        Throughput::Elements(e) => {
+            format!("  {:.2} Melem/s", e as f64 / 1e6 / median.as_secs_f64().max(1e-12))
+        }
+    });
+    println!(
+        "{name:<40} median {:>12?}  mean {:>12?}  min {:>12?}  ({} samples){}",
+        median,
+        mean,
+        min,
+        sorted.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Time the closure repeatedly until the sample count or time budget is
+    /// exhausted.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up (also primes caches the way criterion's warm-up does).
+        std_black_box(f());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples {
+            let t0 = Instant::now();
+            std_black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+}
+
+/// Mirror of criterion's group-definition macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of criterion's main-entry macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5).measurement_time(Duration::from_millis(50));
+        let mut ran = 0usize;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        assert!(ran >= 5);
+    }
+}

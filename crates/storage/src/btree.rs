@@ -22,6 +22,9 @@ pub const MAX_VALUE: usize = 2048;
 const LEAF_TAG: u8 = 1;
 const INTERNAL_TAG: u8 = 2;
 
+/// Separator key and right sibling produced when an insert splits a node.
+type Split = (Vec<u8>, PageId);
+
 #[derive(Debug, Clone)]
 enum Node {
     Leaf { entries: Vec<(Vec<u8>, Vec<u8>)>, next: Option<PageId> },
@@ -176,7 +179,7 @@ impl BTree {
         page: PageId,
         key: &[u8],
         value: &[u8],
-    ) -> Result<(Option<Vec<u8>>, Option<(Vec<u8>, PageId)>)> {
+    ) -> Result<(Option<Vec<u8>>, Option<Split>)> {
         match self.read_node(page)? {
             Node::Leaf { mut entries, next } => {
                 let pos = entries.partition_point(|(k, _)| k.as_slice() < key);

@@ -8,7 +8,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// A page-granular storage backend.
-pub trait Pager: Send {
+pub trait Pager: Send + Sync {
     /// Read page `id` into `out`.
     fn read_page(&self, id: PageId, out: &mut Page) -> Result<()>;
     /// Write `page` at `id`.
@@ -79,7 +79,8 @@ pub struct FilePager {
 impl FilePager {
     /// Open or create the file at `path`.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(StorageError::Corrupt(format!(

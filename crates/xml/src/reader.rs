@@ -111,7 +111,7 @@ impl<'a> Reader<'a> {
         match b {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' | b':' => true,
             b'0'..=b'9' | b'-' | b'.' => !first,
-            _ => b >= 0x80 && !first || b >= 0x80,
+            _ => b >= 0x80,
         }
     }
 

@@ -1,96 +1,142 @@
-//! Property-based tests over the core invariants.
+//! Randomized property tests over the core invariants.
+//!
+//! Formerly `proptest`-based; the workspace now builds hermetically, so the
+//! same properties are exercised with seeded random inputs from the local
+//! `rand` shim — every run replays the identical case set, and a failing
+//! case is reported by its `(test, case)` pair.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use xquec::compress::{blz, bwt, numeric, Alm, Arith, Huffman, HuTucker, NumericCodec};
 use xquec::storage::{BTree, BufferPool, Heap, MemPager};
 
+fn bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+}
+
+fn bytes_nonempty(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(1..=max_len);
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
+}
+
+fn corpus(rng: &mut StdRng, n_max: usize, max_len: usize) -> Vec<Vec<u8>> {
+    let n = rng.gen_range(1..=n_max);
+    (0..n).map(|_| bytes(rng, max_len)).collect()
+}
+
 // ---- compression codecs -----------------------------------------------------
 
-proptest! {
-    /// blz round-trips arbitrary bytes.
-    #[test]
-    fn blz_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        prop_assert_eq!(blz::decompress(&blz::compress(&data)), data);
+/// blz round-trips arbitrary bytes.
+#[test]
+fn blz_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xB12);
+    for case in 0..64 {
+        let data = bytes(&mut rng, 4096);
+        assert_eq!(blz::decompress(&blz::compress(&data)), data, "case {case}");
     }
+}
 
-    /// BWT round-trips arbitrary bytes.
-    #[test]
-    fn bwt_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+/// BWT round-trips arbitrary bytes.
+#[test]
+fn bwt_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xB37);
+    for case in 0..64 {
+        let data = bytes_nonempty(&mut rng, 2048);
         let (l, p) = bwt::bwt(&data);
-        prop_assert_eq!(bwt::ibwt(&l, p), data);
+        assert_eq!(bwt::ibwt(&l, p), data, "case {case}");
     }
+}
 
-    /// Huffman round-trips and preserves equality of compressed forms.
-    #[test]
-    fn huffman_roundtrip_and_eq(
-        corpus in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20),
-        probe in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+/// Huffman round-trips and preserves equality of compressed forms.
+#[test]
+fn huffman_roundtrip_and_eq() {
+    let mut rng = StdRng::seed_from_u64(0x4FF);
+    for case in 0..48 {
+        let corpus = corpus(&mut rng, 20, 64);
+        let probe = bytes(&mut rng, 64);
         let h = Huffman::train(corpus.iter().map(|v| v.as_slice()));
         for v in &corpus {
-            prop_assert_eq!(h.decompress(&h.compress(v)), v.clone());
+            assert_eq!(h.decompress(&h.compress(v)), v.clone(), "case {case}");
         }
-        prop_assert_eq!(h.decompress(&h.compress(&probe)), probe.clone());
-        prop_assert_eq!(h.compress(&probe), h.compress(&probe.clone()));
+        assert_eq!(h.decompress(&h.compress(&probe)), probe, "case {case}");
+        assert_eq!(h.compress(&probe), h.compress(&probe.clone()), "case {case}");
     }
+}
 
-    /// Huffman prefix matching in the compressed domain equals plaintext
-    /// prefix matching.
-    #[test]
-    fn huffman_prefix_match(
-        value in proptest::collection::vec(any::<u8>(), 0..48),
-        cut in 0usize..48,
-        extra in proptest::collection::vec(any::<u8>(), 0..8),
-    ) {
+/// Huffman prefix matching in the compressed domain equals plaintext prefix
+/// matching.
+#[test]
+fn huffman_prefix_match() {
+    let mut rng = StdRng::seed_from_u64(0x9F1);
+    for case in 0..96 {
+        let value = bytes(&mut rng, 48);
+        let cut = rng.gen_range(0..48usize).min(value.len());
+        let extra = bytes(&mut rng, 8);
         let h = Huffman::train([value.as_slice()]);
         let comp = h.compress(&value);
-        let cut = cut.min(value.len());
-        prop_assert!(h.prefix_match(&comp, &value[..cut]));
+        assert!(h.prefix_match(&comp, &value[..cut]), "case {case}");
         let mut other = value[..cut].to_vec();
         other.extend_from_slice(&extra);
-        prop_assert_eq!(h.prefix_match(&comp, &other), value.starts_with(&other));
+        assert_eq!(h.prefix_match(&comp, &other), value.starts_with(&other), "case {case}");
     }
+}
 
-    /// Arithmetic coding round-trips arbitrary values under any model and
-    /// stays deterministic (the `eq` property).
-    #[test]
-    fn arith_roundtrip(
-        corpus in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..16),
-        probe in proptest::collection::vec(any::<u8>(), 0..64),
-    ) {
+/// Arithmetic coding round-trips arbitrary values under any model and stays
+/// deterministic (the `eq` property).
+#[test]
+fn arith_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA21);
+    for case in 0..48 {
+        let corpus = corpus(&mut rng, 16, 64);
+        let probe = bytes(&mut rng, 64);
         let a = Arith::train(corpus.iter().map(|v| v.as_slice()));
         for v in &corpus {
-            prop_assert_eq!(a.decompress(&a.compress(v)), v.clone());
+            assert_eq!(a.decompress(&a.compress(v)), v.clone(), "case {case}");
         }
-        prop_assert_eq!(a.decompress(&a.compress(&probe)), probe.clone());
-        prop_assert_eq!(a.compress(&probe), a.compress(&probe.clone()));
+        assert_eq!(a.decompress(&a.compress(&probe)), probe, "case {case}");
+        assert_eq!(a.compress(&probe), a.compress(&probe.clone()), "case {case}");
     }
+}
 
-    /// Hu-Tucker round-trips and preserves order in the compressed domain.
-    #[test]
-    fn hutucker_order(
-        corpus in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 2..16),
-    ) {
+/// Hu-Tucker round-trips and preserves order in the compressed domain.
+#[test]
+fn hutucker_order() {
+    let mut rng = StdRng::seed_from_u64(0x447);
+    for case in 0..48 {
+        let n = rng.gen_range(2..=16usize);
+        let corpus: Vec<Vec<u8>> = (0..n).map(|_| bytes(&mut rng, 32)).collect();
         let h = HuTucker::train(corpus.iter().map(|v| v.as_slice()));
         let mut sorted = corpus.clone();
         sorted.sort();
         sorted.dedup();
         let comp: Vec<Vec<u8>> = sorted.iter().map(|v| h.compress(v)).collect();
         for w in comp.windows(2) {
-            prop_assert_eq!(h.cmp_compressed(&w[0], &w[1]), std::cmp::Ordering::Less);
+            assert_eq!(h.cmp_compressed(&w[0], &w[1]), std::cmp::Ordering::Less, "case {case}");
         }
         for (v, c) in sorted.iter().zip(&comp) {
-            prop_assert_eq!(&h.decompress(c), v);
+            assert_eq!(&h.decompress(c), v, "case {case}");
         }
     }
+}
 
-    /// ALM round-trips its training corpus and is order-preserving under
-    /// plain byte comparison.
-    #[test]
-    fn alm_order_preserving(
-        corpus in proptest::collection::vec("[a-f ]{0,24}", 2..24),
-    ) {
+/// ALM round-trips its training corpus and is order-preserving under plain
+/// byte comparison.
+#[test]
+fn alm_order_preserving() {
+    let mut rng = StdRng::seed_from_u64(0xA7A);
+    const ALPHABET: &[u8] = b"abcdef ";
+    for case in 0..48 {
+        let n = rng.gen_range(2..=24usize);
+        let corpus: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0..=24usize);
+                (0..len)
+                    .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+                    .collect()
+            })
+            .collect();
         let alm = Alm::train(corpus.iter().map(|v| v.as_bytes()));
         let mut sorted: Vec<&String> = corpus.iter().collect();
         sorted.sort();
@@ -100,56 +146,97 @@ proptest! {
             .map(|v| alm.compress(v.as_bytes()).expect("trained corpus encodes"))
             .collect();
         for (i, w) in comp.windows(2).enumerate() {
-            prop_assert!(
+            assert!(
                 w[0] < w[1],
-                "order violated between {:?} and {:?}",
+                "case {case}: order violated between {:?} and {:?}",
                 sorted[i],
                 sorted[i + 1]
             );
         }
         for (v, c) in sorted.iter().zip(&comp) {
-            prop_assert_eq!(alm.decompress(c), v.as_bytes());
+            assert_eq!(alm.decompress(c), v.as_bytes(), "case {case}");
         }
     }
+}
 
-    /// Numeric encoding orders exactly like the numbers themselves.
-    #[test]
-    fn numeric_order(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+/// Numeric encoding orders exactly like the numbers themselves.
+#[test]
+fn numeric_order() {
+    let mut rng = StdRng::seed_from_u64(0x111);
+    for case in 0..256 {
+        let a = rng.gen_range(-1_000_000_000i64..1_000_000_000);
+        let b = rng.gen_range(-1_000_000_000i64..1_000_000_000);
         let ea = numeric::encode_i128(a as i128);
         let eb = numeric::encode_i128(b as i128);
-        prop_assert_eq!(ea.cmp(&eb), a.cmp(&b));
-        prop_assert_eq!(numeric::decode_i128(&ea), a as i128);
+        assert_eq!(ea.cmp(&eb), a.cmp(&b), "case {case}");
+        assert_eq!(numeric::decode_i128(&ea), a as i128, "case {case}");
     }
+}
 
-    /// Canonical integers survive the numeric codec byte-for-byte.
-    #[test]
-    fn numeric_codec_roundtrip(vals in proptest::collection::vec(-100_000i64..100_000, 1..20)) {
-        let texts: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+/// Canonical integers survive the numeric codec byte-for-byte.
+#[test]
+fn numeric_codec_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x222);
+    for case in 0..64 {
+        let n = rng.gen_range(1..=20usize);
+        let texts: Vec<String> =
+            (0..n).map(|_| rng.gen_range(-100_000i64..100_000).to_string()).collect();
         let codec = NumericCodec::detect(texts.iter().map(|t| t.as_bytes()))
             .expect("canonical integers detect");
         for t in &texts {
             let c = codec.compress(t.as_bytes()).expect("encodes");
-            prop_assert_eq!(codec.decompress(&c), t.as_bytes());
+            assert_eq!(codec.decompress(&c), t.as_bytes(), "case {case}");
         }
     }
 }
 
 // ---- XML ---------------------------------------------------------------------
 
-proptest! {
-    /// Escape/unescape round-trips arbitrary text.
-    #[test]
-    fn escape_roundtrip(text in "\\PC{0,200}") {
+/// Escape/unescape round-trips arbitrary printable text.
+#[test]
+fn escape_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xE5C);
+    for case in 0..96 {
+        let len = rng.gen_range(0..=200usize);
+        let text: String = (0..len)
+            .map(|_| {
+                // Printable-heavy mix including the XML-special characters.
+                match rng.gen_range(0..8u32) {
+                    0 => '<',
+                    1 => '>',
+                    2 => '&',
+                    3 => '\'',
+                    4 => '"',
+                    _ => char::from_u32(rng.gen_range(0x20u32..0x2FF))
+                        .unwrap_or('x'),
+                }
+            })
+            .collect();
         let esc = xquec::xml::escape::escape_text(&text).into_owned();
-        prop_assert_eq!(xquec::xml::escape::unescape(&esc, 0).unwrap(), text);
+        assert_eq!(xquec::xml::escape::unescape(&esc, 0).unwrap(), text, "case {case}");
     }
+}
 
-    /// A document built from arbitrary text content parses back to the same
-    /// text.
-    #[test]
-    // Trailing non-space character keeps the text from being dropped as
-    // ignorable inter-element whitespace.
-    fn document_text_roundtrip(texts in proptest::collection::vec("[a-zA-Z0-9<>&'\" ]{0,39}[a-zA-Z0-9]", 1..10)) {
+/// A document built from arbitrary text content parses back to the same text.
+#[test]
+fn document_text_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xD0C);
+    const INNER: &[u8] = b"abcXYZ019<>&'\" ";
+    const TAIL: &[u8] = b"abcXYZ019";
+    for case in 0..48 {
+        let n = rng.gen_range(1..=10usize);
+        // Trailing non-space character keeps the text from being dropped as
+        // ignorable inter-element whitespace.
+        let texts: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0..=39usize);
+                let mut t: String = (0..len)
+                    .map(|_| INNER[rng.gen_range(0..INNER.len())] as char)
+                    .collect();
+                t.push(TAIL[rng.gen_range(0..TAIL.len())] as char);
+                t
+            })
+            .collect();
         let mut b = xquec::xml::XmlBuilder::new();
         b.open("root");
         for t in &texts {
@@ -160,72 +247,77 @@ proptest! {
         let doc = xquec::xml::Document::parse(&xml).unwrap();
         let root = doc.root().unwrap();
         let items = doc.descendant_elements(root, "item");
-        prop_assert_eq!(items.len(), texts.len());
-        for (n, t) in items.iter().zip(&texts) {
-            prop_assert_eq!(&doc.text_content(*n), t);
+        assert_eq!(items.len(), texts.len(), "case {case}");
+        for (node, t) in items.iter().zip(&texts) {
+            assert_eq!(&doc.text_content(*node), t, "case {case}");
         }
     }
 }
 
 // ---- storage -------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// The B+tree behaves like a sorted map under random inserts, updates,
-    /// deletes and range scans.
-    #[test]
-    fn btree_matches_model(
-        ops in proptest::collection::vec(
-            (proptest::collection::vec(any::<u8>(), 1..24), proptest::collection::vec(any::<u8>(), 0..32), any::<bool>()),
-            1..120,
-        )
-    ) {
+/// The B+tree behaves like a sorted map under random inserts, updates,
+/// deletes and range scans.
+#[test]
+fn btree_matches_model() {
+    let mut rng = StdRng::seed_from_u64(0xB7E);
+    for case in 0..24 {
+        let n_ops = rng.gen_range(1..=120usize);
+        let ops: Vec<(Vec<u8>, Vec<u8>, bool)> = (0..n_ops)
+            .map(|_| (bytes_nonempty(&mut rng, 24), bytes(&mut rng, 32), rng.gen_bool(0.5)))
+            .collect();
         let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 32));
         let mut tree = BTree::create(pool).unwrap();
         let mut model = std::collections::BTreeMap::new();
         for (k, v, del) in &ops {
             if *del {
-                prop_assert_eq!(tree.delete(k).unwrap(), model.remove(k));
+                assert_eq!(tree.delete(k).unwrap(), model.remove(k), "case {case}");
             } else {
-                prop_assert_eq!(tree.insert(k, v).unwrap(), model.insert(k.clone(), v.clone()));
+                assert_eq!(
+                    tree.insert(k, v).unwrap(),
+                    model.insert(k.clone(), v.clone()),
+                    "case {case}"
+                );
             }
         }
         // Point reads.
         for (k, _, _) in &ops {
-            prop_assert_eq!(tree.get(k).unwrap(), model.get(k).cloned());
+            assert_eq!(tree.get(k).unwrap(), model.get(k).cloned(), "case {case}");
         }
         // Full scan matches the model order.
         let scanned: Vec<(Vec<u8>, Vec<u8>)> =
             tree.iter().unwrap().map(|e| e.unwrap()).collect();
         let expect: Vec<(Vec<u8>, Vec<u8>)> =
             model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        prop_assert_eq!(scanned, expect);
+        assert_eq!(scanned, expect, "case {case}");
     }
+}
 
-    /// The heap returns exactly what was appended, under any record sizes.
-    #[test]
-    fn heap_roundtrip(records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..9000), 1..40)) {
+/// The heap returns exactly what was appended, under any record sizes.
+#[test]
+fn heap_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x4EA);
+    for case in 0..16 {
+        let n = rng.gen_range(1..=40usize);
+        let records: Vec<Vec<u8>> = (0..n).map(|_| bytes(&mut rng, 9000)).collect();
         let pool = Arc::new(BufferPool::new(Arc::new(MemPager::new()), 32));
         let mut heap = Heap::create(pool).unwrap();
         let ids: Vec<_> = records.iter().map(|r| heap.append(r).unwrap()).collect();
         for (id, rec) in ids.iter().zip(&records) {
-            prop_assert_eq!(&heap.get(*id).unwrap(), rec);
+            assert_eq!(&heap.get(*id).unwrap(), rec, "case {case}");
         }
         let scanned: Vec<Vec<u8>> = heap.scan().map(|r| r.unwrap().1).collect();
-        prop_assert_eq!(scanned, records);
+        assert_eq!(scanned, records, "case {case}");
     }
 }
 
 // ---- repository --------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Every value in a loaded repository decompresses back to the original
-    /// leaf content, whatever the codec mix.
-    #[test]
-    fn repository_values_roundtrip(seed in 0u64..500) {
+/// Every value in a loaded repository decompresses back to the original
+/// leaf content, whatever the codec mix.
+#[test]
+fn repository_values_roundtrip() {
+    for seed in [0u64, 7, 42, 128, 260, 499] {
         let xml = xquec::xml::gen::xmark::XmarkGen::with_scale(0.0006).seed(seed).generate();
         let repo = xquec::core::loader::load(&xml).unwrap();
         let doc = xquec::xml::Document::parse(&xml).unwrap();
@@ -245,6 +337,6 @@ proptest! {
         }
         original.sort();
         stored.sort();
-        prop_assert_eq!(stored, original);
+        assert_eq!(stored, original, "seed {seed}");
     }
 }
