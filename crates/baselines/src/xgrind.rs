@@ -140,7 +140,7 @@ impl XgrindDoc {
             if path_now == target.as_slice() && comp == probe.as_slice() {
                 out.push(Match {
                     path: doc.path_string(path_now),
-                    value: String::from_utf8(doc.models[leaf >> 1].decompress(comp))
+                    value: String::from_utf8(doc.models[leaf >> 1].decompress(comp).expect("self-compressed value"))
                         .expect("UTF-8"),
                 });
             }
@@ -158,7 +158,7 @@ impl XgrindDoc {
             {
                 out.push(Match {
                     path: doc.path_string(path_now),
-                    value: String::from_utf8(doc.models[leaf >> 1].decompress(comp))
+                    value: String::from_utf8(doc.models[leaf >> 1].decompress(comp).expect("self-compressed value"))
                         .expect("UTF-8"),
                 });
             }
@@ -178,7 +178,7 @@ impl XgrindDoc {
             if path_now == target.as_slice() {
                 decompressions += 1;
                 let plain =
-                    String::from_utf8(doc.models[leaf >> 1].decompress(comp)).expect("UTF-8");
+                    String::from_utf8(doc.models[leaf >> 1].decompress(comp).expect("self-compressed value")).expect("UTF-8");
                 if plain.as_str() >= lo && plain.as_str() <= hi {
                     out.push(Match { path: doc.path_string(path_now), value: plain });
                 }

@@ -122,8 +122,8 @@ impl XmillDoc {
     /// Fully decompress back to XML. This inflates *every* container — the
     /// cost XQueC's individually-accessible records avoid.
     pub fn decompress(&self) -> String {
-        let structure = blz::decompress(&self.structure);
-        let plain: Vec<Vec<u8>> = self.containers.iter().map(|c| blz::decompress(c)).collect();
+        let structure = blz::decompress(&self.structure).expect("self-compressed structure");
+        let plain: Vec<Vec<u8>> = self.containers.iter().map(|c| blz::decompress(c).expect("self-compressed container")).collect();
         let mut cursors = vec![0usize; plain.len()];
         // Rebuild the same path -> container assignment the compressor used.
         let mut container_ids: HashMap<Vec<usize>, usize> = HashMap::new();

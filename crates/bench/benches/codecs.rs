@@ -35,7 +35,7 @@ fn codec_throughput(c: &mut Criterion) {
             b.iter(|| {
                 let mut n = 0usize;
                 for cv in &comp {
-                    n += codec.decompress(cv).len();
+                    n += codec.decompress(cv).expect("trained corpus decodes").len();
                 }
                 black_box(n)
             })
@@ -67,7 +67,7 @@ fn codec_throughput(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(joined.len() as u64));
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     g.bench_function("compress", |b| b.iter(|| black_box(blz::compress(&joined).len())));
-    g.bench_function("decompress", |b| b.iter(|| black_box(blz::decompress(&blob).len())));
+    g.bench_function("decompress", |b| b.iter(|| black_box(blz::decompress(&blob).expect("self-compressed block").len())));
     g.finish();
 }
 

@@ -89,7 +89,7 @@ fn lazy_decompression_ablation(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for (idx, _) in container.scan() {
-                if container.compressed(idx) == comp_probe.as_slice() {
+                if container.compressed(idx).expect("in range") == comp_probe.as_slice() {
                     hits += 1;
                 }
             }
@@ -101,7 +101,7 @@ fn lazy_decompression_ablation(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for (idx, _) in container.scan() {
-                if container.decompress(idx).as_bytes() == probe {
+                if container.decompress(idx).expect("in range").as_bytes() == probe {
                     hits += 1;
                 }
             }
@@ -110,7 +110,7 @@ fn lazy_decompression_ablation(c: &mut Criterion) {
     });
     // Index: binary-searched ContAccess range (what the planner picks).
     g.bench_function("cont_access_range", |b| {
-        b.iter(|| black_box(container.equal_range(probe).len()))
+        b.iter(|| black_box(container.equal_range(probe).expect("valid container").len()))
     });
     g.finish();
 }

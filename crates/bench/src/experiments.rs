@@ -430,7 +430,7 @@ pub fn ablation_codecs(p: Profile) -> Vec<CodecRow> {
     .iter()
     .filter_map(|(name, path)| {
         let cid = repo.container_by_path(path)?;
-        Some((name.to_string(), repo.container(cid).decompress_all()))
+        Some((name.to_string(), repo.container(cid).decompress_all().ok()?))
     })
     .collect();
 
@@ -450,7 +450,7 @@ pub fn ablation_codecs(p: Profile) -> Vec<CodecRow> {
             let (_, secs) = time_median(if p.quick { 1 } else { 3 }, || {
                 let mut sink = 0usize;
                 for c in &comp {
-                    sink += codec.decompress(c).len();
+                    sink += codec.decompress(c).expect("trained corpus decodes").len();
                 }
                 sink
             });
@@ -469,7 +469,7 @@ pub fn ablation_codecs(p: Profile) -> Vec<CodecRow> {
         // blz as a whole-container block (no individual access).
         let joined: Vec<u8> = values.iter().flat_map(|v| v.as_bytes().iter().copied()).collect();
         let comp = xquec_compress::blz::compress(&joined);
-        let (_, secs) = time(|| xquec_compress::blz::decompress(&comp).len());
+        let (_, secs) = time(|| xquec_compress::blz::decompress(&comp).expect("self-compressed block").len());
         out.push(CodecRow {
             corpus: name.clone(),
             codec: "blz (block)".to_owned(),

@@ -29,6 +29,7 @@
 //! Decompression is a flat table lookup per code — several output bytes per
 //! step, which is why ALM decodes faster than bit-by-bit Huffman (§2.1).
 
+use crate::error::{corrupt, CodecError};
 use std::collections::HashMap;
 
 /// A trained ALM model (dictionary + interval codes).
@@ -175,6 +176,21 @@ impl Alm {
         };
 
         (narrow, wide, corpus_bytes, sample)
+    }
+
+    /// [`Alm::from_tokens`] for *untrusted* token sets (deserialized models):
+    /// rejects sets that would trip the construction asserts — no usable
+    /// token at all, or enough tokens to overflow the 2-byte interval table
+    /// (each token adds at most two intervals).
+    pub fn try_from_tokens(mut tokens: Vec<Vec<u8>>) -> Result<Self, CodecError> {
+        tokens.retain(|t| !t.is_empty());
+        if tokens.is_empty() {
+            return Err(corrupt("alm", "model has no non-empty tokens"));
+        }
+        if tokens.len() > 32_768 {
+            return Err(corrupt("alm", format!("{} tokens overflow interval table", tokens.len())));
+        }
+        Ok(Self::from_tokens(tokens))
     }
 
     /// Build the interval structure from an explicit token set. Every byte
@@ -333,25 +349,37 @@ impl Alm {
     }
 
     /// Decompress a value produced by [`Alm::compress`].
-    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
+    ///
+    /// Fails (never panics) when a code falls outside the interval table or
+    /// a 2-byte-width payload has odd length — both impossible for
+    /// `compress` output and therefore symptoms of corruption.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::with_capacity(data.len() * 3);
         match self.width {
             1 => {
                 for &b in data {
-                    let tok = self.code_token[b as usize];
+                    let tok = *self
+                        .code_token
+                        .get(b as usize)
+                        .ok_or_else(|| corrupt("alm", format!("code {b} beyond interval table")))?;
                     out.extend_from_slice(&self.tokens[tok as usize]);
                 }
             }
             _ => {
-                debug_assert!(data.len().is_multiple_of(2), "odd ALM payload");
+                if !data.len().is_multiple_of(2) {
+                    return Err(corrupt("alm", "odd payload length for 2-byte codes"));
+                }
                 for pair in data.chunks_exact(2) {
                     let code = u16::from_be_bytes([pair[0], pair[1]]) as usize;
-                    let tok = self.code_token[code];
+                    let tok = *self
+                        .code_token
+                        .get(code)
+                        .ok_or_else(|| corrupt("alm", format!("code {code} beyond interval table")))?;
                     out.extend_from_slice(&self.tokens[tok as usize]);
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -414,9 +442,9 @@ mod tests {
         let these = alm.compress(b"these").unwrap();
         assert!(their < there, "{their:?} vs {there:?}");
         assert!(there < these, "{there:?} vs {these:?}");
-        assert_eq!(alm.decompress(&their), b"their");
-        assert_eq!(alm.decompress(&there), b"there");
-        assert_eq!(alm.decompress(&these), b"these");
+        assert_eq!(alm.decompress(&their).unwrap(), b"their");
+        assert_eq!(alm.decompress(&there).unwrap(), b"there");
+        assert_eq!(alm.decompress(&these).unwrap(), b"these");
     }
 
     #[test]
@@ -438,7 +466,7 @@ mod tests {
         let alm = Alm::train(corpus.clone());
         for v in corpus {
             let c = alm.compress(v).unwrap();
-            assert_eq!(alm.decompress(&c), v);
+            assert_eq!(alm.decompress(&c).unwrap(), v);
         }
     }
 
@@ -454,7 +482,7 @@ mod tests {
         let alm = Alm::train([&b"ab"[..]]);
         let c = alm.compress(b"").unwrap();
         assert!(c.is_empty());
-        assert_eq!(alm.decompress(&c), b"");
+        assert_eq!(alm.decompress(&c).unwrap(), b"");
     }
 
     #[test]
@@ -492,7 +520,7 @@ mod tests {
         }
         // Round-trips too.
         for (s, c) in strings.iter().zip(&comp) {
-            assert_eq!(&alm.decompress(c), s);
+            assert_eq!(&alm.decompress(c).unwrap(), s);
         }
     }
 
@@ -523,7 +551,7 @@ mod tests {
         let alm = Alm::from_tokens(toks);
         assert_eq!(alm.code_width(), 2);
         let c = alm.compress(b"hello world").unwrap();
-        assert_eq!(alm.decompress(&c), b"hello world");
+        assert_eq!(alm.decompress(&c).unwrap(), b"hello world");
         // Order still holds across the width.
         let x = alm.compress(b"aa").unwrap();
         let y = alm.compress(b"ab").unwrap();

@@ -12,6 +12,7 @@
 //! and injective — equality predicates work on the compressed bytes.
 
 use crate::bitio::{BitReader, BitWriter};
+use crate::error::{corrupt, CodecError, MAX_DECODE_OUTPUT};
 
 const SYMBOLS: usize = 257; // 256 bytes + EOS
 const EOS: usize = 256;
@@ -143,9 +144,16 @@ impl Arith {
     }
 
     /// Decompress a value produced by [`Arith::compress`].
-    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
+    ///
+    /// A legitimate stream is self-terminating via EOS. A corrupt stream can
+    /// instead keep yielding symbols; since every loop iteration either
+    /// returns or pushes one output byte, capping the output length bounds
+    /// the loop — no hang and no unbounded allocation.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         let total = self.total();
         let mut r = BitReader::new(data, data.len() * 8);
+        // Past the written bits the decoder sees an infinite tail of zeros,
+        // exactly as the encoder assumed when it flushed.
         let mut next_bit = move || -> u64 { r.next_bit().map_or(0, u64::from) };
         let mut value = 0u64;
         for _ in 0..32 {
@@ -155,6 +163,12 @@ impl Arith {
         let mut high = TOP;
         let mut out = Vec::new();
         loop {
+            if value < low || value > high {
+                // The window invariant low <= value <= high holds for any
+                // decode of a well-formed stream; a violation means the
+                // bits are corrupt (and would otherwise underflow below).
+                return Err(corrupt("arith", "decoder window invariant violated"));
+            }
             let range = high - low + 1;
             let scaled = ((value - low + 1) * total - 1) / range;
             // Binary search the symbol whose interval holds `scaled`.
@@ -165,8 +179,14 @@ impl Arith {
                 }
                 Err(i) => i - 1,
             };
+            if s >= SYMBOLS {
+                return Err(corrupt("arith", "scaled value beyond symbol table"));
+            }
             if s == EOS {
-                return out;
+                return Ok(out);
+            }
+            if out.len() >= MAX_DECODE_OUTPUT {
+                return Err(corrupt("arith", "no end-of-stream within output bound"));
             }
             out.push(s as u8);
             high = low + range * self.cum[s + 1] / total - 1;
@@ -208,7 +228,7 @@ mod tests {
         let a = model();
         for s in ["", "the", "the quick brown fox jumps over the lazy dog", "unseen! 123", "\u{00e9}"] {
             let c = a.compress(s.as_bytes());
-            assert_eq!(a.decompress(&c), s.as_bytes(), "for {s:?}");
+            assert_eq!(a.decompress(&c).unwrap(), s.as_bytes(), "for {s:?}");
         }
     }
 
@@ -254,7 +274,7 @@ mod tests {
         }
         let a = Arith::train(vals.iter().map(|v| v.as_slice()));
         for v in &vals {
-            assert_eq!(a.decompress(&a.compress(v)), *v);
+            assert_eq!(a.decompress(&a.compress(v)).unwrap(), *v);
         }
     }
 }

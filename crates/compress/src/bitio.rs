@@ -65,10 +65,17 @@ pub struct BitReader<'a> {
 }
 
 impl<'a> BitReader<'a> {
-    /// Read up to `bit_len` bits from `buf`.
+    /// Read up to `bit_len` bits from `buf`. The limit is clamped to the
+    /// bits actually present, so a corrupt length field can never make the
+    /// reader index past the buffer; callers that must *detect* a short
+    /// buffer should check [`BitReader::fits`] first.
     pub fn new(buf: &'a [u8], bit_len: usize) -> Self {
-        debug_assert!(bit_len <= buf.len() * 8);
-        BitReader { buf, pos: 0, limit: bit_len }
+        BitReader { buf, pos: 0, limit: bit_len.min(buf.len() * 8) }
+    }
+
+    /// Would a stream claiming `bit_len` bits fit inside `buf`?
+    pub fn fits(buf: &[u8], bit_len: usize) -> bool {
+        bit_len <= buf.len().saturating_mul(8)
     }
 
     /// Bits remaining.
@@ -106,6 +113,10 @@ impl<'a> BitReader<'a> {
 /// alphabetical codes).
 pub fn cmp_bits(a: &[u8], a_bits: usize, b: &[u8], b_bits: usize) -> std::cmp::Ordering {
     use std::cmp::Ordering;
+    // Clamp claimed bit counts to the bits actually present so corrupt
+    // headers cannot drive the byte-wise fast path out of bounds.
+    let a_bits = a_bits.min(a.len() * 8);
+    let b_bits = b_bits.min(b.len() * 8);
     let common_bytes = (a_bits.min(b_bits)) / 8;
     // Fast path: whole-byte comparison over the shared full bytes.
     match a[..common_bytes].cmp(&b[..common_bytes]) {

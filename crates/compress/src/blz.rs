@@ -9,7 +9,8 @@
 //! the property that distinguishes XMill-style from XQueC-style storage.
 
 use crate::bitio::{read_varint, write_varint};
-use crate::bwt::{bwt, ibwt};
+use crate::bwt::{bwt, ibwt_checked};
+use crate::error::{corrupt, CodecError, MAX_DECODE_OUTPUT};
 use crate::huffman::Huffman;
 
 /// Maximum bytes per BWT block.
@@ -26,14 +27,28 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 }
 
 /// Decompress a buffer produced by [`compress`].
-pub fn decompress(data: &[u8]) -> Vec<u8> {
-    let (total, mut pos) = read_varint(data).expect("corrupt blz header");
-    let mut out = Vec::with_capacity(total);
-    while out.len() < total {
-        pos = decompress_block(data, pos, &mut out);
+///
+/// Fails (never panics) on truncated headers, inconsistent per-block length
+/// fields, or an inverse-BWT that does not resolve. Every block must make
+/// forward progress, so a corrupt stream cannot loop; allocation is bounded
+/// by the validated per-block lengths rather than the claimed total.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let (total, mut pos) = read_varint(data).ok_or_else(|| corrupt("blz", "truncated header"))?;
+    if total > MAX_DECODE_OUTPUT {
+        return Err(corrupt("blz", format!("claimed size {total} exceeds decode bound")));
     }
-    assert_eq!(out.len(), total, "blz length mismatch");
-    out
+    let mut out = Vec::with_capacity(total.min(data.len().saturating_mul(8)));
+    while out.len() < total {
+        let before = out.len();
+        pos = decompress_block(data, pos, &mut out)?;
+        if out.len() == before {
+            return Err(corrupt("blz", "empty block makes no progress"));
+        }
+    }
+    if out.len() != total {
+        return Err(corrupt("blz", format!("decoded {} bytes, header says {total}", out.len())));
+    }
+    Ok(out)
 }
 
 fn compress_block(block: &[u8], out: &mut Vec<u8>) {
@@ -57,29 +72,54 @@ fn compress_block(block: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(&payload);
 }
 
-fn decompress_block(data: &[u8], mut pos: usize, out: &mut Vec<u8>) -> usize {
-    let (block_len, used) = read_varint(&data[pos..]).expect("corrupt block header");
+fn decompress_block(
+    data: &[u8],
+    mut pos: usize,
+    out: &mut Vec<u8>,
+) -> Result<usize, CodecError> {
+    let header = |field: &str| corrupt("blz", format!("truncated block {field}"));
+    let (block_len, used) =
+        read_varint(data.get(pos..).unwrap_or(&[])).ok_or_else(|| header("length"))?;
     pos += used;
-    let (primary, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    if block_len > BLOCK_SIZE {
+        return Err(corrupt("blz", format!("block length {block_len} exceeds {BLOCK_SIZE}")));
+    }
+    let (primary, used) =
+        read_varint(data.get(pos..).unwrap_or(&[])).ok_or_else(|| header("primary index"))?;
     pos += used;
-    let (rle_len, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    let (rle_len, used) =
+        read_varint(data.get(pos..).unwrap_or(&[])).ok_or_else(|| header("rle length"))?;
     pos += used;
+    // RLE0 output is at most 2 bytes per input byte (a 0x00 escape plus a
+    // one-byte run varint), so anything larger cannot decode to this block.
+    if rle_len > 2 * BLOCK_SIZE {
+        return Err(corrupt("blz", format!("rle length {rle_len} implausible for one block")));
+    }
     let mut lengths = [0u8; 256];
-    lengths.copy_from_slice(&data[pos..pos + 256]);
+    lengths.copy_from_slice(
+        data.get(pos..pos + 256).ok_or_else(|| header("huffman length table"))?,
+    );
     pos += 256;
-    let huff = Huffman::from_lengths(&lengths);
-    let (payload_len, used) = read_varint(&data[pos..]).expect("corrupt block header");
+    let huff = Huffman::from_lengths_checked(&lengths)?;
+    let (payload_len, used) =
+        read_varint(data.get(pos..).unwrap_or(&[])).ok_or_else(|| header("payload length"))?;
     pos += used;
-    let rle = huff.decompress(&data[pos..pos + payload_len]);
+    let payload = data.get(pos..pos + payload_len).ok_or_else(|| header("payload"))?;
     pos += payload_len;
-    assert_eq!(rle.len(), rle_len, "blz rle length mismatch");
+    let rle = huff.decompress(payload)?;
+    if rle.len() != rle_len {
+        return Err(corrupt("blz", format!("rle decoded {} bytes, header says {rle_len}", rle.len())));
+    }
 
-    let mtf = rle0_decode(&rle);
+    let mtf = rle0_decode_max(&rle, block_len)?;
+    if mtf.len() != block_len {
+        return Err(corrupt("blz", format!("mtf has {} bytes, header says {block_len}", mtf.len())));
+    }
     let l = mtf_decode(&mtf);
-    let block = ibwt(&l, primary);
-    assert_eq!(block.len(), block_len, "blz block length mismatch");
+    let block = ibwt_checked(&l, primary)
+        .ok_or_else(|| corrupt("blz", format!("inverse BWT rejects primary index {primary}")))?;
     out.extend_from_slice(&block);
-    pos
+    Ok(pos)
 }
 
 /// Move-to-front transform: BWT's symbol clustering becomes small values.
@@ -131,21 +171,35 @@ pub fn rle0_encode(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`rle0_encode`].
-pub fn rle0_decode(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() * 2);
+/// Inverse of [`rle0_encode`]. Fails on a truncated run varint or output
+/// exceeding the global decode bound.
+pub fn rle0_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    rle0_decode_max(data, MAX_DECODE_OUTPUT)
+}
+
+/// [`rle0_decode`] with an explicit output cap, so a hostile run length is
+/// rejected before it allocates (blz blocks cap at [`BLOCK_SIZE`]).
+fn rle0_decode_max(data: &[u8], max_out: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(data.len().min(max_out));
     let mut i = 0usize;
     while i < data.len() {
         if data[i] == 0 {
-            let (run, used) = read_varint(&data[i + 1..]).expect("corrupt rle0 run");
+            let (run, used) = read_varint(&data[i + 1..])
+                .ok_or_else(|| corrupt("rle0", "truncated run length"))?;
+            if run > max_out - out.len() {
+                return Err(corrupt("rle0", format!("run of {run} zeros exceeds output bound")));
+            }
             out.resize(out.len() + run, 0);
             i += 1 + used;
         } else {
             out.push(data[i]);
             i += 1;
         }
+        if out.len() > max_out {
+            return Err(corrupt("rle0", "output exceeds bound"));
+        }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -176,7 +230,7 @@ mod tests {
             vec![0; 1000],
         ];
         for c in cases {
-            assert_eq!(rle0_decode(&rle0_encode(&c)), c);
+            assert_eq!(rle0_decode(&rle0_encode(&c)).unwrap(), c);
         }
     }
 
@@ -184,21 +238,39 @@ mod tests {
     fn blz_roundtrip_text() {
         let text = "the quick brown fox jumps over the lazy dog. ".repeat(500);
         let c = compress(text.as_bytes());
-        assert_eq!(decompress(&c), text.as_bytes());
+        assert_eq!(decompress(&c).unwrap(), text.as_bytes());
         assert!(c.len() < text.len() / 4, "blz on repetitive text: {} vs {}", c.len(), text.len());
     }
 
     #[test]
     fn blz_roundtrip_empty_and_tiny() {
         for data in [&b""[..], b"x", b"ab"] {
-            assert_eq!(decompress(&compress(data)), data);
+            assert_eq!(decompress(&compress(data)).unwrap(), data);
         }
     }
 
     #[test]
     fn blz_multi_block() {
         let data: Vec<u8> = (0..BLOCK_SIZE * 2 + 77).map(|i| (i % 251) as u8).collect();
-        assert_eq!(decompress(&compress(&data)), data);
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn blz_corrupt_inputs_error_not_panic() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(200);
+        let c = compress(text.as_bytes());
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]); // must return, Ok or Err — never panic
+        }
+        let mut x = 0x9E37_79B9u32;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let mut m = c.clone();
+            m[x as usize % c.len()] ^= 1 << ((x >> 16) & 7);
+            let _ = decompress(&m);
+        }
     }
 
     #[test]

@@ -60,6 +60,53 @@ pub fn bwt(data: &[u8]) -> (Vec<u8>, usize) {
     (out, primary)
 }
 
+/// Inverse BWT for *untrusted* input (e.g. a blz block read back from disk):
+/// returns `None` when `primary` is out of range or the LF walk revisits the
+/// sentinel row early — both impossible for genuine [`bwt`] output and
+/// symptoms of corruption that would otherwise index out of bounds.
+pub fn ibwt_checked(l: &[u8], primary: usize) -> Option<Vec<u8>> {
+    let n = l.len();
+    if n == 0 {
+        return (primary == 0).then(Vec::new);
+    }
+    let rows = n + 1;
+    if primary < 1 || primary >= rows {
+        return None;
+    }
+    let sym = |r: usize| -> usize {
+        if r == primary {
+            0
+        } else {
+            l[r - usize::from(r > primary)] as usize + 1
+        }
+    };
+    let mut counts = [0usize; 257];
+    for r in 0..rows {
+        counts[sym(r)] += 1;
+    }
+    let mut c = [0usize; 258];
+    for s in 0..257 {
+        c[s + 1] = c[s] + counts[s];
+    }
+    let mut occ = [0usize; 257];
+    let mut lf = vec![0u32; rows];
+    for (r, lf_slot) in lf.iter_mut().enumerate() {
+        let s = sym(r);
+        *lf_slot = (c[s] + occ[s]) as u32;
+        occ[s] += 1;
+    }
+    let mut out = vec![0u8; n];
+    let mut r = 0usize;
+    for slot in out.iter_mut().rev() {
+        if r == primary {
+            return None; // corrupt: sentinel row reached mid-walk
+        }
+        *slot = l[r - usize::from(r > primary)];
+        r = lf[r] as usize;
+    }
+    Some(out)
+}
+
 /// Inverse BWT for the representation produced by [`bwt`].
 pub fn ibwt(l: &[u8], primary: usize) -> Vec<u8> {
     let n = l.len();
@@ -120,7 +167,17 @@ mod tests {
         for s in ["banana", "", "a", "abracadabra", "mississippi", "zzzzzz"] {
             let (l, p) = bwt(s.as_bytes());
             assert_eq!(ibwt(&l, p), s.as_bytes(), "for {s:?}");
+            assert_eq!(ibwt_checked(&l, p).unwrap(), s.as_bytes(), "checked for {s:?}");
         }
+    }
+
+    #[test]
+    fn ibwt_checked_rejects_bad_primary() {
+        let (l, p) = bwt(b"banana");
+        assert!(ibwt_checked(&l, 0).is_none());
+        assert!(ibwt_checked(&l, l.len() + 1).is_none());
+        assert!(ibwt_checked(&l, p).is_some());
+        assert!(ibwt_checked(&[], 3).is_none());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::alm::Alm;
 use crate::arith::Arith;
+use crate::error::CodecError;
 use crate::huffman::Huffman;
 use crate::hutucker::HuTucker;
 use crate::numeric::NumericCodec;
@@ -176,10 +177,11 @@ impl ValueCodec {
         }
     }
 
-    /// Decompress one value.
-    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
+    /// Decompress one value. Fails with a typed [`CodecError`] (never
+    /// panics) when the stream is malformed or truncated.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
         match self {
-            ValueCodec::Raw => data.to_vec(),
+            ValueCodec::Raw => Ok(data.to_vec()),
             ValueCodec::Huffman(h) => h.decompress(data),
             ValueCodec::Alm(a) => a.decompress(data),
             ValueCodec::HuTucker(h) => h.decompress(data),
@@ -194,16 +196,18 @@ impl ValueCodec {
         a == b
     }
 
-    /// Ordering in the compressed domain; `None` when this codec does not
-    /// support inequality predicates compressed (then the caller must
-    /// decompress — exactly the cost the §3.2 matrices charge).
-    pub fn cmp_compressed(&self, a: &[u8], b: &[u8]) -> Option<Ordering> {
+    /// Ordering in the compressed domain; `Ok(None)` when this codec does
+    /// not support inequality predicates compressed (then the caller must
+    /// decompress — exactly the cost the §3.2 matrices charge), `Err` when
+    /// an operand is corrupt (Hu-Tucker streams carry a length header that
+    /// must be validated before the bitwise comparison).
+    pub fn cmp_compressed(&self, a: &[u8], b: &[u8]) -> Result<Option<Ordering>, CodecError> {
         match self {
-            ValueCodec::Raw => Some(a.cmp(b)),
-            ValueCodec::Alm(_) => Some(a.cmp(b)),
-            ValueCodec::Numeric(_) => Some(NumericCodec::cmp_compressed(a, b)),
-            ValueCodec::HuTucker(h) => Some(h.cmp_compressed(a, b)),
-            ValueCodec::Huffman(_) | ValueCodec::Arith(_) => None,
+            ValueCodec::Raw => Ok(Some(a.cmp(b))),
+            ValueCodec::Alm(_) => Ok(Some(a.cmp(b))),
+            ValueCodec::Numeric(_) => Ok(Some(NumericCodec::cmp_compressed(a, b))),
+            ValueCodec::HuTucker(h) => h.cmp_compressed(a, b).map(Some),
+            ValueCodec::Huffman(_) | ValueCodec::Arith(_) => Ok(None),
         }
     }
 
@@ -273,7 +277,7 @@ mod tests {
             assert_eq!(codec.kind(), kind);
             for v in &c {
                 let comp = codec.compress(v).expect("corpus value must encode");
-                assert_eq!(codec.decompress(&comp), *v, "{}", kind.name());
+                assert_eq!(codec.decompress(&comp).unwrap(), *v, "{}", kind.name());
             }
         }
     }
@@ -294,7 +298,7 @@ mod tests {
             let codec = ValueCodec::train(kind, &c);
             let a = codec.compress(b"the value number 1 of the corpus").unwrap();
             let b = codec.compress(b"the value number 2 of the corpus").unwrap();
-            match codec.cmp_compressed(&a, &b) {
+            match codec.cmp_compressed(&a, &b).unwrap() {
                 Some(ord) => {
                     assert!(kind.properties().ineq);
                     assert_eq!(ord, Ordering::Less, "{}", kind.name());
@@ -355,6 +359,12 @@ impl ValueCodec {
     }
 
     /// Reconstruct a codec serialized by [`ValueCodec::serialize`].
+    ///
+    /// The blob is untrusted (it was read from disk): every length field is
+    /// bounds-checked against the bytes actually present, and the model
+    /// parameters themselves are validated (`from_lengths_checked`,
+    /// `try_from_tokens`, `from_deltas`, numeric scale range) so a corrupt
+    /// model can neither panic during reconstruction nor later during use.
     pub fn deserialize(data: &[u8]) -> Option<ValueCodec> {
         use crate::bitio::read_varint;
         match *data.first()? {
@@ -362,27 +372,39 @@ impl ValueCodec {
             1 => {
                 let mut lengths = [0u8; 256];
                 lengths.copy_from_slice(data.get(1..257)?);
-                Some(ValueCodec::Huffman(Huffman::from_lengths(&lengths)))
+                Some(ValueCodec::Huffman(Huffman::from_lengths_checked(&lengths).ok()?))
             }
             2 => {
                 let mut pos = 1usize;
-                let (n, used) = read_varint(&data[pos..])?;
+                let (n, used) = read_varint(data.get(pos..)?)?;
                 pos += used;
+                // Each token needs at least one length byte, so more tokens
+                // than remaining bytes is corrupt — checked before the
+                // allocation so a hostile count cannot OOM.
+                if n > data.len() - pos {
+                    return None;
+                }
                 let mut tokens = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let (len, used) = read_varint(&data[pos..])?;
+                    let (len, used) = read_varint(data.get(pos..)?)?;
                     pos += used;
                     tokens.push(data.get(pos..pos + len)?.to_vec());
                     pos += len;
                 }
-                Some(ValueCodec::Alm(Alm::from_tokens(tokens)))
+                Some(ValueCodec::Alm(Alm::try_from_tokens(tokens).ok()?))
             }
             3 => {
                 let mut lengths = [0u8; 256];
                 lengths.copy_from_slice(data.get(1..257)?);
-                Some(ValueCodec::HuTucker(HuTucker::from_lengths(&lengths)))
+                Some(ValueCodec::HuTucker(HuTucker::from_lengths_checked(&lengths).ok()?))
             }
-            4 => Some(ValueCodec::Numeric(NumericCodec { scale: *data.get(1)? })),
+            4 => {
+                let scale = *data.get(1)?;
+                if scale > crate::numeric::MAX_SCALE {
+                    return None;
+                }
+                Some(ValueCodec::Numeric(NumericCodec { scale }))
+            }
             5 => {
                 let body = data.get(1..)?;
                 if body.len() % 4 != 0 {
@@ -416,12 +438,42 @@ mod serde_tests {
                 let c = codec.compress(v).unwrap();
                 // Identical compressed form and round-trip under the revived model.
                 assert_eq!(back.compress(v).unwrap(), c, "{}", kind.name());
-                assert_eq!(back.decompress(&c), *v);
+                assert_eq!(back.decompress(&c).unwrap(), *v);
             }
         }
         let nums: Vec<Vec<u8>> = vec![b"1.50".to_vec(), b"22.00".to_vec()];
         let codec = ValueCodec::train(CodecKind::Numeric, &nums);
         let back = ValueCodec::deserialize(&codec.serialize()).unwrap();
         assert_eq!(back.compress(b"3.25"), codec.compress(b"3.25"));
+    }
+
+    #[test]
+    fn deserialize_survives_mutation() {
+        // Bit-flipped / truncated model blobs must deserialize to None or a
+        // usable codec — never panic (during reconstruction or later use).
+        let corpus: Vec<Vec<u8>> =
+            (0..40).map(|i| format!("value number {} of corpus", i % 7).into_bytes()).collect();
+        for kind in
+            [CodecKind::Raw, CodecKind::Huffman, CodecKind::Alm, CodecKind::HuTucker, CodecKind::Arith]
+        {
+            let blob = ValueCodec::train(kind, &corpus).serialize();
+            for cut in 0..blob.len() {
+                let _ = ValueCodec::deserialize(&blob[..cut]);
+            }
+            let mut x = 0x1234_5678u32;
+            for _ in 0..300 {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                let mut m = blob.clone();
+                let idx = x as usize % m.len();
+                m[idx] ^= 1 << ((x >> 16) & 7);
+                if let Some(codec) = ValueCodec::deserialize(&m) {
+                    // A revived (possibly garbage) model must still be safe
+                    // to run against arbitrary compressed bytes.
+                    let _ = codec.decompress(&m[..m.len().min(16)]);
+                }
+            }
+        }
     }
 }

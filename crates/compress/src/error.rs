@@ -1,0 +1,46 @@
+//! Typed decode errors for the codec pool.
+//!
+//! Every decode entry point in this crate returns `Result<_, CodecError>`
+//! instead of panicking: a malformed or truncated bitstream — whatever its
+//! origin (bit rot, torn write, hostile input) — must surface as a value the
+//! storage and query layers can propagate. Decoders also bound their loops
+//! and allocations so hostile length fields cannot cause hangs or OOM.
+
+use std::fmt;
+
+/// Hard ceiling on the number of bytes any single decode call will produce.
+///
+/// Legitimate values in this system are XML text/attribute leaves (at most a
+/// few hundred KiB once containers are block-compressed), so 64 MiB leaves
+/// orders of magnitude of headroom while keeping a hostile header from
+/// requesting an unbounded allocation.
+pub const MAX_DECODE_OUTPUT: usize = 64 << 20;
+
+/// A malformed, truncated, or internally inconsistent compressed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Which codec detected the problem (`"huffman"`, `"blz"`, ...).
+    pub codec: &'static str,
+    /// What was wrong with the stream.
+    pub detail: String,
+}
+
+impl CodecError {
+    /// Construct an error tagged with the detecting codec.
+    pub fn new(codec: &'static str, detail: impl Into<String>) -> Self {
+        CodecError { codec, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt {} stream: {}", self.codec, self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Shorthand used by the decoders in this crate.
+pub(crate) fn corrupt(codec: &'static str, detail: impl Into<String>) -> CodecError {
+    CodecError::new(codec, detail)
+}

@@ -10,9 +10,14 @@
 //! ALM's job, see [`crate::alm`]).
 
 use crate::bitio::{read_varint, write_varint, BitReader, BitWriter};
+use crate::error::{corrupt, CodecError};
 
 /// Number of byte symbols.
 const SYMBOLS: usize = 256;
+
+/// Longest code length a serialized model may claim. Codewords are stored in
+/// a `u64`, so anything longer cannot have been produced by `compress`.
+pub(crate) const MAX_CODE_LEN: u8 = 63;
 
 /// A trained Huffman source model plus its canonical code tables.
 #[derive(Debug, Clone)]
@@ -53,8 +58,25 @@ impl Huffman {
     /// in which a model is serialized (e.g. in `blz` block headers).
     pub fn from_lengths(lengths: &[u8; SYMBOLS]) -> Self {
         let codes = canonical_codes(lengths);
-        let (tree, root) = build_decode_tree(&codes);
+        let (tree, root) = build_decode_tree(&codes).expect("trained code is prefix-free");
         Huffman { codes, tree, root }
+    }
+
+    /// [`Huffman::from_lengths`] for *untrusted* length tables (deserialized
+    /// models, blz block headers): rejects tables with a zero or oversized
+    /// length, which `compress` can never emit and which would overflow the
+    /// `u64` codeword representation.
+    pub fn from_lengths_checked(lengths: &[u8; SYMBOLS]) -> Result<Self, CodecError> {
+        if let Some(s) = lengths.iter().position(|&l| l == 0 || l > MAX_CODE_LEN) {
+            return Err(corrupt(
+                "huffman",
+                format!("invalid code length {} for symbol {s}", lengths[s]),
+            ));
+        }
+        let codes = canonical_codes(lengths);
+        let (tree, root) = build_decode_tree(&codes)
+            .ok_or_else(|| corrupt("huffman", "length table yields non-prefix-free code"))?;
+        Ok(Huffman { codes, tree, root })
     }
 
     /// Per-symbol code lengths (the serializable model).
@@ -87,19 +109,38 @@ impl Huffman {
     }
 
     /// Decompress a value produced by [`Huffman::compress`].
-    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
-        let (bit_len, used) = read_varint(data).expect("corrupt huffman header");
-        let mut r = BitReader::new(&data[used..], bit_len);
+    ///
+    /// Fails (never panics) on a truncated header, a bit count exceeding the
+    /// bytes present, or a codeword that walks into a dead tree branch. The
+    /// output is bounded by the input bit count, so a hostile stream cannot
+    /// force an unbounded allocation.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (bit_len, used) =
+            read_varint(data).ok_or_else(|| corrupt("huffman", "truncated length header"))?;
+        let body = &data[used..];
+        if !BitReader::fits(body, bit_len) {
+            return Err(corrupt(
+                "huffman",
+                format!("claims {bit_len} bits but only {} bytes follow", body.len()),
+            ));
+        }
+        let mut r = BitReader::new(body, bit_len);
         let mut out = Vec::with_capacity(bit_len / 4);
         while r.remaining() > 0 {
             let mut node = self.root;
             while node & LEAF_FLAG == 0 {
                 let (l, rgt) = self.tree[node as usize];
-                node = if r.next_bit().expect("truncated huffman stream") { rgt } else { l };
+                let bit = r
+                    .next_bit()
+                    .ok_or_else(|| corrupt("huffman", "stream ends mid-codeword"))?;
+                node = if bit { rgt } else { l };
+                if node == u32::MAX {
+                    return Err(corrupt("huffman", "codeword reaches dead tree branch"));
+                }
             }
             out.push((node & 0xff) as u8);
         }
-        out
+        Ok(out)
     }
 
     /// The raw codeword bits for `value` without the varint header, for
@@ -126,6 +167,9 @@ impl Huffman {
             return false;
         }
         let body = &data[used..];
+        if !BitReader::fits(body, bit_len) {
+            return false; // corrupt: claims more bits than are present
+        }
         // Compare full bytes then the tail bits.
         let full = plen / 8;
         if body[..full] != pbits[..full] {
@@ -202,7 +246,11 @@ fn canonical_codes(lengths: &[u8; SYMBOLS]) -> Vec<(u64, u8)> {
     codes
 }
 
-fn build_decode_tree(codes: &[(u64, u8)]) -> (Vec<(u32, u32)>, u32) {
+/// Build the flat decode tree; `None` when the codes are not prefix-free
+/// (only possible for a corrupt deserialized length table — a conflict shows
+/// up as a path crossing an already-placed leaf or landing on an internal
+/// node).
+fn build_decode_tree(codes: &[(u64, u8)]) -> Option<(Vec<(u32, u32)>, u32)> {
     let mut tree: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX)];
     let root = 0u32;
     for (sym, &(code, len)) in codes.iter().enumerate() {
@@ -211,9 +259,15 @@ fn build_decode_tree(codes: &[(u64, u8)]) -> (Vec<(u32, u32)>, u32) {
             let bit = (code >> i) & 1 == 1;
             if i == 0 {
                 let slot = if bit { &mut tree[node].1 } else { &mut tree[node].0 };
+                if *slot != u32::MAX {
+                    return None; // duplicate code or prefix of a longer one
+                }
                 *slot = LEAF_FLAG | sym as u32;
             } else {
                 let cur = if bit { tree[node].1 } else { tree[node].0 };
+                if cur != u32::MAX && cur & LEAF_FLAG != 0 {
+                    return None; // an existing shorter code prefixes this one
+                }
                 let next = if cur == u32::MAX {
                     let nx = tree.len() as u32;
                     tree.push((u32::MAX, u32::MAX));
@@ -227,7 +281,7 @@ fn build_decode_tree(codes: &[(u64, u8)]) -> (Vec<(u32, u32)>, u32) {
             }
         }
     }
-    (tree, root)
+    Some((tree, root))
 }
 
 #[cfg(test)]
@@ -245,7 +299,7 @@ mod tests {
         let h = sample_model();
         for s in ["", "the", "completely unseen string! 123", "\u{00e9}\u{00e9}"] {
             let c = h.compress(s.as_bytes());
-            assert_eq!(h.decompress(&c), s.as_bytes());
+            assert_eq!(h.decompress(&c).unwrap(), s.as_bytes());
         }
     }
 
@@ -298,6 +352,6 @@ mod tests {
     fn single_symbol_corpus() {
         let h = Huffman::train([&b"aaaaaaaa"[..]]);
         let c = h.compress(b"aaaa");
-        assert_eq!(h.decompress(&c), b"aaaa");
+        assert_eq!(h.decompress(&c).unwrap(), b"aaaa");
     }
 }

@@ -17,6 +17,8 @@
 //!    length sequence alone.
 
 use crate::bitio::{cmp_bits, read_varint, write_varint, BitReader, BitWriter};
+use crate::error::{corrupt, CodecError};
+use crate::huffman::MAX_CODE_LEN;
 use std::cmp::Ordering;
 
 const SYMBOLS: usize = 256;
@@ -52,8 +54,24 @@ impl HuTucker {
     /// Reconstruct the code from per-symbol lengths (the serialized model).
     pub fn from_lengths(lengths: &[u8; SYMBOLS]) -> Self {
         let codes = alphabetical_codes(lengths);
-        let tree = build_decode_tree(&codes);
+        let tree = build_decode_tree(&codes).expect("trained code is prefix-free");
         HuTucker { codes, tree }
+    }
+
+    /// [`HuTucker::from_lengths`] for *untrusted* length tables: rejects a
+    /// zero or oversized length, which no trained model contains and which
+    /// would overflow the `u64` codeword arithmetic.
+    pub fn from_lengths_checked(lengths: &[u8; SYMBOLS]) -> Result<Self, CodecError> {
+        if let Some(s) = lengths.iter().position(|&l| l == 0 || l > MAX_CODE_LEN) {
+            return Err(corrupt(
+                "hutucker",
+                format!("invalid code length {} for symbol {s}", lengths[s]),
+            ));
+        }
+        let codes = alphabetical_codes(lengths);
+        let tree = build_decode_tree(&codes)
+            .ok_or_else(|| corrupt("hutucker", "length table yields non-prefix-free code"))?;
+        Ok(HuTucker { codes, tree })
     }
 
     /// Per-symbol code lengths (the serializable model).
@@ -85,27 +103,51 @@ impl HuTucker {
     }
 
     /// Decompress a value produced by [`HuTucker::compress`].
-    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
-        let (bit_len, used) = read_varint(data).expect("corrupt hu-tucker header");
-        let mut r = BitReader::new(&data[used..], bit_len);
+    ///
+    /// Fails (never panics) on a truncated header, a bit count exceeding the
+    /// bytes present, or a codeword walking into a dead tree branch.
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (bit_len, used) =
+            read_varint(data).ok_or_else(|| corrupt("hutucker", "truncated length header"))?;
+        let body = &data[used..];
+        if !BitReader::fits(body, bit_len) {
+            return Err(corrupt(
+                "hutucker",
+                format!("claims {bit_len} bits but only {} bytes follow", body.len()),
+            ));
+        }
+        let mut r = BitReader::new(body, bit_len);
         let mut out = Vec::with_capacity(bit_len / 4);
         while r.remaining() > 0 {
             let mut node = 0u32;
             while node & LEAF_FLAG == 0 {
                 let (l, rgt) = self.tree[node as usize];
-                node = if r.next_bit().expect("truncated stream") { rgt } else { l };
+                let bit = r
+                    .next_bit()
+                    .ok_or_else(|| corrupt("hutucker", "stream ends mid-codeword"))?;
+                node = if bit { rgt } else { l };
+                if node == u32::MAX {
+                    return Err(corrupt("hutucker", "codeword reaches dead tree branch"));
+                }
             }
             out.push((node & 0xff) as u8);
         }
-        out
+        Ok(out)
     }
 
     /// Compare two compressed values in the compressed domain. Because the
     /// code is alphabetical, this equals the ordering of the source strings.
-    pub fn cmp_compressed(&self, a: &[u8], b: &[u8]) -> Ordering {
-        let (abits, aused) = read_varint(a).expect("corrupt header");
-        let (bbits, bused) = read_varint(b).expect("corrupt header");
-        cmp_bits(&a[aused..], abits, &b[bused..], bbits)
+    /// Fails if either stream's header is truncated or claims more bits than
+    /// are present.
+    pub fn cmp_compressed(&self, a: &[u8], b: &[u8]) -> Result<Ordering, CodecError> {
+        let (abits, aused) =
+            read_varint(a).ok_or_else(|| corrupt("hutucker", "truncated length header"))?;
+        let (bbits, bused) =
+            read_varint(b).ok_or_else(|| corrupt("hutucker", "truncated length header"))?;
+        if !BitReader::fits(&a[aused..], abits) || !BitReader::fits(&b[bused..], bbits) {
+            return Err(corrupt("hutucker", "compared stream shorter than its bit count"));
+        }
+        Ok(cmp_bits(&a[aused..], abits, &b[bused..], bbits))
     }
 }
 
@@ -184,7 +226,9 @@ fn alphabetical_codes(lengths: &[u8; SYMBOLS]) -> Vec<(u64, u8)> {
     codes
 }
 
-fn build_decode_tree(codes: &[(u64, u8)]) -> Vec<(u32, u32)> {
+/// Build the flat decode tree; `None` when the codes are not prefix-free
+/// (only possible for a corrupt deserialized length table).
+fn build_decode_tree(codes: &[(u64, u8)]) -> Option<Vec<(u32, u32)>> {
     let mut tree: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX)];
     for (sym, &(code, len)) in codes.iter().enumerate() {
         let mut node = 0usize;
@@ -192,9 +236,15 @@ fn build_decode_tree(codes: &[(u64, u8)]) -> Vec<(u32, u32)> {
             let bit = (code >> i) & 1 == 1;
             if i == 0 {
                 let slot = if bit { &mut tree[node].1 } else { &mut tree[node].0 };
+                if *slot != u32::MAX {
+                    return None; // duplicate code or prefix of a longer one
+                }
                 *slot = LEAF_FLAG | sym as u32;
             } else {
                 let cur = if bit { tree[node].1 } else { tree[node].0 };
+                if cur != u32::MAX && cur & LEAF_FLAG != 0 {
+                    return None; // an existing shorter code prefixes this one
+                }
                 let next = if cur == u32::MAX {
                     let nx = tree.len() as u32;
                     tree.push((u32::MAX, u32::MAX));
@@ -208,7 +258,7 @@ fn build_decode_tree(codes: &[(u64, u8)]) -> Vec<(u32, u32)> {
             }
         }
     }
-    tree
+    Some(tree)
 }
 
 #[cfg(test)]
@@ -225,7 +275,7 @@ mod tests {
         let h = model();
         for s in ["", "banana", "unseen bytes \u{00ff}", "zzz"] {
             let c = h.compress(s.as_bytes());
-            assert_eq!(h.decompress(&c), s.as_bytes(), "for {s:?}");
+            assert_eq!(h.decompress(&c).unwrap(), s.as_bytes(), "for {s:?}");
         }
     }
 
@@ -262,7 +312,7 @@ mod tests {
         let comp: Vec<Vec<u8>> = strings.iter().map(|s| h.compress(s.as_bytes())).collect();
         for i in 1..strings.len() {
             assert_eq!(
-                h.cmp_compressed(&comp[i - 1], &comp[i]),
+                h.cmp_compressed(&comp[i - 1], &comp[i]).unwrap(),
                 Ordering::Less,
                 "{} vs {}",
                 strings[i - 1],
@@ -283,6 +333,9 @@ mod tests {
     fn equality_deterministic() {
         let h = model();
         assert_eq!(h.compress(b"same"), h.compress(b"same"));
-        assert_eq!(h.cmp_compressed(&h.compress(b"x"), &h.compress(b"x")), Ordering::Equal);
+        assert_eq!(
+            h.cmp_compressed(&h.compress(b"x"), &h.compress(b"x")).unwrap(),
+            Ordering::Equal
+        );
     }
 }

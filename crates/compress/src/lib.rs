@@ -22,6 +22,7 @@ pub mod bitio;
 pub mod blz;
 pub mod bwt;
 pub mod codec;
+pub mod error;
 pub mod huffman;
 pub mod hutucker;
 pub mod numeric;
@@ -29,6 +30,7 @@ pub mod numeric;
 pub use alm::{Alm, AlmConfig};
 pub use arith::Arith;
 pub use codec::{AlgoProperties, CodecKind, ValueCodec};
+pub use error::{CodecError, MAX_DECODE_OUTPUT};
 pub use huffman::Huffman;
 pub use hutucker::HuTucker;
 pub use numeric::NumericCodec;

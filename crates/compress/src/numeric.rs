@@ -7,7 +7,13 @@
 //! predicates run in the compressed domain. Decoding reproduces the exact
 //! original string (canonical-form detection guarantees round-tripping).
 
+use crate::error::{corrupt, CodecError};
 use std::cmp::Ordering;
+
+/// Largest scale `detect` can produce (`parse_canonical` caps fractional
+/// digits at 18); deserialized codecs claiming more are corrupt, and
+/// rejecting them keeps `10^scale` from overflowing in `format_scaled`.
+pub const MAX_SCALE: u8 = 18;
 
 /// A numeric container codec: all values are integers scaled by `10^scale`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,10 +52,14 @@ impl NumericCodec {
         Some(encode_i128(scaled))
     }
 
-    /// Decode back to the exact original string.
-    pub fn decompress(&self, data: &[u8]) -> Vec<u8> {
-        let v = decode_i128(data);
-        format_scaled(v, self.scale).into_bytes()
+    /// Decode back to the exact original string. Fails on a truncated or
+    /// malformed encoding (never panics).
+    pub fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if self.scale > MAX_SCALE {
+            return Err(corrupt("numeric", format!("scale {} out of range", self.scale)));
+        }
+        let v = decode_i128(data)?;
+        Ok(format_scaled(v, self.scale).into_bytes())
     }
 
     /// Compare two encoded values (numeric order).
@@ -139,21 +149,46 @@ pub fn encode_i128(v: i128) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`encode_i128`].
-pub fn decode_i128(data: &[u8]) -> i128 {
-    let prefix = data[0];
-    if prefix >= 0x80 {
-        let len = (prefix - 0x80) as usize;
-        let mut be = [0u8; 16];
-        be[16 - len..].copy_from_slice(&data[1..1 + len]);
-        i128::from_be_bytes(be)
+/// Inverse of [`encode_i128`]. Fails on empty input, a magnitude length the
+/// prefix byte cannot legally claim (>16 bytes), or a payload shorter than
+/// the claimed length — all of which indicate a corrupt record.
+pub fn decode_i128(data: &[u8]) -> Result<i128, CodecError> {
+    let (&prefix, rest) =
+        data.split_first().ok_or_else(|| corrupt("numeric", "empty encoding"))?;
+    let (len, neg) = if prefix >= 0x80 {
+        ((prefix - 0x80) as usize, false)
     } else {
-        let len = (0x80 - prefix) as usize;
-        let mut be = [0u8; 16];
-        for (slot, &b) in be[16 - len..].iter_mut().zip(&data[1..1 + len]) {
+        ((0x80 - prefix) as usize, true)
+    };
+    if len > 16 {
+        return Err(corrupt("numeric", format!("magnitude length {len} exceeds 16 bytes")));
+    }
+    if rest.len() != len {
+        return Err(corrupt(
+            "numeric",
+            format!("magnitude claims {len} bytes but {} present", rest.len()),
+        ));
+    }
+    let mut be = [0u8; 16];
+    if neg {
+        for (slot, &b) in be[16 - len..].iter_mut().zip(rest) {
             *slot = !b;
         }
-        -i128::from_be_bytes(be)
+    } else {
+        be[16 - len..].copy_from_slice(rest);
+    }
+    // Work in u128 so a hostile 16-byte magnitude cannot overflow negation.
+    let mag = u128::from_be_bytes(be);
+    if neg {
+        if mag > i128::MAX as u128 + 1 {
+            return Err(corrupt("numeric", "negative magnitude overflows i128"));
+        }
+        Ok((mag as i128).wrapping_neg())
+    } else {
+        if mag > i128::MAX as u128 {
+            return Err(corrupt("numeric", "magnitude overflows i128"));
+        }
+        Ok(mag as i128)
     }
 }
 
@@ -187,7 +222,7 @@ mod tests {
             assert!(enc[i - 1] < enc[i], "{} !< {}", vals[i - 1], vals[i]);
         }
         for (v, e) in vals.iter().zip(&enc) {
-            assert_eq!(decode_i128(e), *v);
+            assert_eq!(decode_i128(e).unwrap(), *v);
         }
     }
 
@@ -197,7 +232,7 @@ mod tests {
         assert_eq!(c.scale, 0);
         for v in [&b"0"[..], b"42", b"-7"] {
             let e = c.compress(v).unwrap();
-            assert_eq!(c.decompress(&e), v);
+            assert_eq!(c.decompress(&e).unwrap(), v);
         }
     }
 
@@ -208,8 +243,8 @@ mod tests {
         let e1 = c.compress(b"5.00").unwrap();
         let e2 = c.compress(b"19.99").unwrap();
         assert!(e1 < e2);
-        assert_eq!(c.decompress(&e1), b"5.00");
-        assert_eq!(c.decompress(&e2), b"19.99");
+        assert_eq!(c.decompress(&e1).unwrap(), b"5.00");
+        assert_eq!(c.decompress(&e2).unwrap(), b"19.99");
     }
 
     #[test]
@@ -229,6 +264,20 @@ mod tests {
         let e9 = c.compress(b"9").unwrap();
         let e10 = c.compress(b"10").unwrap();
         assert!(e9 < e10, "numeric 9 < 10 even though \"9\" > \"10\" as strings");
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_malformed() {
+        let e = encode_i128(1_000_000);
+        for cut in 0..e.len() {
+            assert!(decode_i128(&e[..cut]).is_err(), "prefix of {cut} bytes must not decode");
+        }
+        assert!(decode_i128(&[0x80 + 17]).is_err(), "length > 16 rejected");
+        assert!(decode_i128(&[0x82, 1]).is_err(), "claims 2 magnitude bytes, 1 present");
+        assert!(decode_i128(&[0x81, 1, 1]).is_err(), "trailing garbage rejected");
+        let c = NumericCodec { scale: 2 };
+        assert!(c.decompress(&[0x85, 1]).is_err());
+        assert!(NumericCodec { scale: 200 }.decompress(&encode_i128(5)).is_err());
     }
 
     #[test]

@@ -17,7 +17,26 @@
 use crate::ids::{ContainerId, ElemId, PathId, TagCode};
 use std::cmp::Ordering;
 use std::sync::Arc;
-use xquec_compress::{blz, ValueCodec};
+use xquec_compress::{blz, CodecError, ValueCodec};
+
+/// A container whose stored bytes cannot be decoded — corrupt compressed
+/// records, a blz blob that does not parse, or a record index that the
+/// container does not hold.
+#[derive(Debug)]
+pub struct ContainerError {
+    /// Container the failure occurred in.
+    pub container: ContainerId,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "container {}: {}", self.container.0, self.detail)
+    }
+}
+
+impl std::error::Error for ContainerError {}
 
 /// What kind of leaf a container stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,7 +177,9 @@ impl Container {
     }
 
     /// Rebuild an individually-compressed container from persisted parts
-    /// (records must already be in value order).
+    /// (records must already be in value order). Every record is decoded
+    /// once up front, so a container that constructs successfully can be
+    /// decompressed later without surprises.
     pub fn from_parts(
         id: ContainerId,
         path: PathId,
@@ -167,13 +188,38 @@ impl Container {
         codec: Arc<ValueCodec>,
         comps: Vec<Box<[u8]>>,
         parents: Vec<ElemId>,
-    ) -> Container {
-        assert_eq!(comps.len(), parents.len());
-        let plain_bytes = comps.iter().map(|c| codec.decompress(c).len()).sum();
-        Container { id, path, leaf, vtype, codec, parents, store: Store::Individual { comps }, plain_bytes }
+    ) -> Result<Container, ContainerError> {
+        if comps.len() != parents.len() {
+            return Err(ContainerError {
+                container: id,
+                detail: format!("{} records but {} parents", comps.len(), parents.len()),
+            });
+        }
+        let mut plain_bytes = 0usize;
+        for (i, c) in comps.iter().enumerate() {
+            plain_bytes += codec
+                .decompress(c)
+                .map_err(|e| ContainerError {
+                    container: id,
+                    detail: format!("record {i}: {e}"),
+                })?
+                .len();
+        }
+        Ok(Container {
+            id,
+            path,
+            leaf,
+            vtype,
+            codec,
+            parents,
+            store: Store::Individual { comps },
+            plain_bytes,
+        })
     }
 
-    /// Rebuild a block container from its persisted blz blob.
+    /// Rebuild a block container from its persisted blz blob. The blob is
+    /// fully decoded and parsed once up front; a record count that does not
+    /// match the parent list is corruption.
     pub fn from_block_parts(
         id: ContainerId,
         path: PathId,
@@ -181,8 +227,8 @@ impl Container {
         vtype: ValueType,
         data: Vec<u8>,
         parents: Vec<ElemId>,
-    ) -> Container {
-        let c = Container {
+    ) -> Result<Container, ContainerError> {
+        let mut c = Container {
             id,
             path,
             leaf,
@@ -192,8 +238,27 @@ impl Container {
             store: Store::Block { data },
             plain_bytes: 0,
         };
-        let plain_bytes = c.decompress_all().iter().map(|v| v.len()).sum();
-        Container { plain_bytes, ..c }
+        let values = c.decompress_all()?;
+        if values.len() != c.parents.len() {
+            return Err(ContainerError {
+                container: id,
+                detail: format!(
+                    "block holds {} values but {} parents",
+                    values.len(),
+                    c.parents.len()
+                ),
+            });
+        }
+        c.plain_bytes = values.iter().map(|v| v.len()).sum();
+        Ok(c)
+    }
+
+    fn err(&self, detail: impl Into<String>) -> ContainerError {
+        ContainerError { container: self.id, detail: detail.into() }
+    }
+
+    fn codec_err(&self, e: CodecError) -> ContainerError {
+        self.err(e.to_string())
     }
 
     /// Number of records.
@@ -222,44 +287,63 @@ impl Container {
     }
 
     /// Compressed bytes of record `idx` (individual mode only).
-    pub fn compressed(&self, idx: u32) -> &[u8] {
+    pub fn compressed(&self, idx: u32) -> Result<&[u8], ContainerError> {
         match &self.store {
-            Store::Individual { comps } => &comps[idx as usize],
-            Store::Block { .. } => panic!("block container has no per-record access"),
+            Store::Individual { comps } => comps
+                .get(idx as usize)
+                .map(|c| c.as_ref())
+                .ok_or_else(|| self.err(format!("record {idx} out of range ({})", comps.len()))),
+            Store::Block { .. } => Err(self.err("block container has no per-record access")),
         }
     }
 
     /// Decompress record `idx`.
-    pub fn decompress(&self, idx: u32) -> String {
+    pub fn decompress(&self, idx: u32) -> Result<String, ContainerError> {
         match &self.store {
             Store::Individual { comps } => {
-                String::from_utf8_lossy(&self.codec.decompress(&comps[idx as usize]))
-                    .into_owned()
+                let comp = comps.get(idx as usize).ok_or_else(|| {
+                    self.err(format!("record {idx} out of range ({})", comps.len()))
+                })?;
+                let plain = self.codec.decompress(comp).map_err(|e| self.codec_err(e))?;
+                Ok(String::from_utf8_lossy(&plain).into_owned())
             }
-            Store::Block { .. } => self.decompress_all()[idx as usize].clone(),
+            Store::Block { .. } => self
+                .decompress_all()?
+                .into_iter()
+                .nth(idx as usize)
+                .ok_or_else(|| self.err(format!("record {idx} out of range"))),
         }
     }
 
     /// Decompress the whole container in record order (the only way to read
     /// a block container — deliberately expensive, as in XMill).
-    pub fn decompress_all(&self) -> Vec<String> {
+    pub fn decompress_all(&self) -> Result<Vec<String>, ContainerError> {
         match &self.store {
             Store::Individual { comps } => comps
                 .iter()
-                .map(|c| String::from_utf8_lossy(&self.codec.decompress(c)).into_owned())
+                .map(|c| {
+                    self.codec
+                        .decompress(c)
+                        .map(|p| String::from_utf8_lossy(&p).into_owned())
+                        .map_err(|e| self.codec_err(e))
+                })
                 .collect(),
             Store::Block { data } => {
-                let concat = blz::decompress(data);
+                let concat = blz::decompress(data).map_err(|e| self.codec_err(e))?;
                 let mut out = Vec::with_capacity(self.parents.len());
                 let mut pos = 0usize;
                 while pos < concat.len() {
-                    let (len, used) =
-                        xquec_compress::bitio::read_varint(&concat[pos..]).expect("corrupt block");
+                    let (len, used) = xquec_compress::bitio::read_varint(&concat[pos..])
+                        .ok_or_else(|| self.err("block value header truncated"))?;
                     pos += used;
-                    out.push(String::from_utf8_lossy(&concat[pos..pos + len]).into_owned());
-                    pos += len;
+                    let end = pos
+                        .checked_add(len)
+                        .filter(|&e| e <= concat.len())
+                        .ok_or_else(|| self.err("block value leaves the blob"))?;
+                    out.push(String::from_utf8_lossy(&concat[pos..end]).into_owned());
+                    pos = end;
                 }
-                out
+                Ok(out)
             }
         }
     }
@@ -271,35 +355,42 @@ impl Container {
 
     /// Compare record `idx` against a plaintext bound, in the compressed
     /// domain when the codec supports it.
-    pub fn cmp_record(&self, idx: u32, plain: &[u8]) -> Ordering {
+    pub fn cmp_record(&self, idx: u32, plain: &[u8]) -> Result<Ordering, ContainerError> {
         match &self.store {
             Store::Individual { comps } => {
+                let comp = comps.get(idx as usize).ok_or_else(|| {
+                    self.err(format!("record {idx} out of range ({})", comps.len()))
+                })?;
                 if self.codec.order_preserving() {
                     if let Some(cb) = self.codec.compress(plain) {
-                        return self
+                        if let Some(ord) = self
                             .codec
-                            .cmp_compressed(&comps[idx as usize], &cb)
-                            .expect("order-preserving codec compares compressed");
+                            .cmp_compressed(comp, &cb)
+                            .map_err(|e| self.codec_err(e))?
+                        {
+                            return Ok(ord);
+                        }
                     }
                 }
-                self.codec.decompress(&comps[idx as usize]).as_slice().cmp(plain)
+                let plain_rec = self.codec.decompress(comp).map_err(|e| self.codec_err(e))?;
+                Ok(plain_rec.as_slice().cmp(plain))
             }
-            Store::Block { .. } => self.decompress(idx).as_bytes().cmp(plain),
+            Store::Block { .. } => Ok(self.decompress(idx)?.as_bytes().cmp(plain)),
         }
     }
 
     /// First record index whose value is `>= plain` (binary search over the
     /// value-ordered records; `ContAccess` lower bound).
-    pub fn lower_bound(&self, plain: &[u8]) -> u32 {
+    pub fn lower_bound(&self, plain: &[u8]) -> Result<u32, ContainerError> {
         self.bound(plain, false)
     }
 
     /// First record index whose value is `> plain` (`ContAccess` upper bound).
-    pub fn upper_bound(&self, plain: &[u8]) -> u32 {
+    pub fn upper_bound(&self, plain: &[u8]) -> Result<u32, ContainerError> {
         self.bound(plain, true)
     }
 
-    fn bound(&self, plain: &[u8], upper: bool) -> u32 {
+    fn bound(&self, plain: &[u8], upper: bool) -> Result<u32, ContainerError> {
         // For numeric containers the sort order is numeric, so the bound must
         // be compared numerically — cmp_record handles that through the
         // codec; plaintext fallback only happens for string containers.
@@ -307,7 +398,7 @@ impl Container {
         let mut hi = self.len() as u32;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let ord = self.cmp_record(mid, plain);
+            let ord = self.cmp_record(mid, plain)?;
             let go_right = if upper { ord != Ordering::Greater } else { ord == Ordering::Less };
             if go_right {
                 lo = mid + 1;
@@ -315,12 +406,12 @@ impl Container {
                 hi = mid;
             }
         }
-        lo
+        Ok(lo)
     }
 
     /// Record index range holding exactly `plain` (`ContAccess` equality).
-    pub fn equal_range(&self, plain: &[u8]) -> std::ops::Range<u32> {
-        self.lower_bound(plain)..self.upper_bound(plain)
+    pub fn equal_range(&self, plain: &[u8]) -> Result<std::ops::Range<u32>, ContainerError> {
+        Ok(self.lower_bound(plain)?..self.upper_bound(plain)?)
     }
 
     /// Total compressed payload bytes.
@@ -374,7 +465,7 @@ mod tests {
     #[test]
     fn records_sorted_by_value() {
         let (c, _) = build_with(CodecKind::Alm);
-        let vals: Vec<String> = (0..c.len() as u32).map(|i| c.decompress(i)).collect();
+        let vals: Vec<String> = (0..c.len() as u32).map(|i| c.decompress(i).unwrap()).collect();
         assert_eq!(vals, vec!["alpha", "bravo", "bravo", "charlie", "delta"]);
         // Parents travel with their values.
         assert_eq!(c.parent_of(0), ElemId(1));
@@ -393,11 +484,11 @@ mod tests {
     fn binary_search_compressed_and_probing() {
         for kind in [CodecKind::Alm, CodecKind::Huffman, CodecKind::Raw] {
             let (c, _) = build_with(kind);
-            assert_eq!(c.equal_range(b"bravo"), 1..3, "{}", kind.name());
-            assert_eq!(c.equal_range(b"aaaa"), 0..0);
-            assert_eq!(c.equal_range(b"zzz"), 5..5);
-            assert_eq!(c.lower_bound(b"b"), 1);
-            assert_eq!(c.upper_bound(b"charlie"), 4);
+            assert_eq!(c.equal_range(b"bravo").unwrap(), 1..3, "{}", kind.name());
+            assert_eq!(c.equal_range(b"aaaa").unwrap(), 0..0);
+            assert_eq!(c.equal_range(b"zzz").unwrap(), 5..5);
+            assert_eq!(c.lower_bound(b"b").unwrap(), 1);
+            assert_eq!(c.upper_bound(b"charlie").unwrap(), 4);
         }
     }
 
@@ -419,9 +510,9 @@ mod tests {
             vals,
         );
         // Range 2..=10 numerically.
-        let lo = c.lower_bound(b"2");
-        let hi = c.upper_bound(b"10");
-        let got: Vec<String> = (lo..hi).map(|i| c.decompress(i)).collect();
+        let lo = c.lower_bound(b"2").unwrap();
+        let hi = c.upper_bound(b"10").unwrap();
+        let got: Vec<String> = (lo..hi).map(|i| c.decompress(i).unwrap()).collect();
         assert_eq!(got, vec!["2", "9", "10"]);
     }
 
@@ -436,7 +527,7 @@ mod tests {
             vals,
         );
         assert!(!c.is_individual());
-        let all = c.decompress_all();
+        let all = c.decompress_all().unwrap();
         assert_eq!(all, vec!["alpha", "bravo", "bravo", "charlie", "delta"]);
         for (elem, idx) in refs {
             assert_eq!(c.parent_of(idx), elem);

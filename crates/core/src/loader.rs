@@ -397,7 +397,7 @@ mod tests {
         let repo = load(DOC).unwrap();
         let names = repo.container_by_path("//name/text()").unwrap();
         let c = repo.container(names);
-        let all = c.decompress_all();
+        let all = c.decompress_all().unwrap();
         assert_eq!(all, vec!["Alice Smith", "Bob Jones", "Carol King"]);
     }
 
@@ -455,7 +455,7 @@ mod tests {
         let names = repo.container_by_path("//name/text()").unwrap();
         assert!(repo.container(names).is_individual());
         // Block containers still round-trip.
-        assert_eq!(repo.container(ids).decompress_all().len(), 3);
+        assert_eq!(repo.container(ids).decompress_all().unwrap().len(), 3);
     }
 
     #[test]

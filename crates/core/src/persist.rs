@@ -6,8 +6,15 @@
 //! sequence of node records"), the dictionary / summary / containers live in
 //! record heaps, and source models are stored once per partition set and
 //! shared by reference.
+//!
+//! Loading treats the file as hostile: every field is bounds-checked, every
+//! cross-reference (tree parents, summary parents, extent element ids,
+//! container pointers, value refs) is validated, and every decode failure
+//! surfaces as a typed [`PersistError`] — never a panic. [`save_to_pager`]
+//! and [`load_from_pager`] expose the pager seam so tests can drive the
+//! whole path through an in-memory or fault-injecting pager.
 
-use crate::container::{Container, ContainerLeaf, ValueType};
+use crate::container::{Container, ContainerError, ContainerLeaf, ValueType};
 use crate::dictionary::NameDictionary;
 use crate::ids::{ContainerId, ElemId, PathId, TagCode};
 use crate::repo::Repository;
@@ -18,16 +25,18 @@ use std::path::Path;
 use std::sync::Arc;
 use xquec_compress::bitio::{read_varint, write_varint};
 use xquec_compress::ValueCodec;
-use xquec_storage::{BTree, BufferPool, FilePager, Heap, PageId, StorageError};
+use xquec_storage::{BTree, BufferPool, FilePager, Heap, PageId, Pager, StorageError};
 
-const MAGIC: &[u8; 8] = b"XQUEC01\0";
+/// Catalog magic; the trailing version digit pairs with the storage-layer
+/// format version (checksummed pages arrived with `XQUEC02`).
+const MAGIC: &[u8; 8] = b"XQUEC02\0";
 /// Container records per heap chunk.
 const CHUNK: usize = 512;
 
 /// Errors from saving/loading a repository.
 #[derive(Debug)]
 pub enum PersistError {
-    /// Underlying storage failure.
+    /// Underlying storage failure (I/O, checksum mismatch, bad page).
     Storage(StorageError),
     /// Structural corruption in the file.
     Corrupt(String),
@@ -42,7 +51,14 @@ impl std::fmt::Display for PersistError {
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Storage(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+        }
+    }
+}
 
 impl From<StorageError> for PersistError {
     fn from(e: StorageError) -> Self {
@@ -50,14 +66,80 @@ impl From<StorageError> for PersistError {
     }
 }
 
+impl From<ContainerError> for PersistError {
+    fn from(e: ContainerError) -> Self {
+        PersistError::Corrupt(e.to_string())
+    }
+}
+
 fn corrupt<T>(msg: impl Into<String>) -> Result<T, PersistError> {
     Err(PersistError::Corrupt(msg.into()))
+}
+
+/// Bounds-checked cursor over one persisted record.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8], what: &'static str) -> Self {
+        Reader { data, pos: 0, what }
+    }
+
+    fn truncated<T>(&self) -> Result<T, PersistError> {
+        corrupt(format!("{} record truncated at byte {}", self.what, self.pos))
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], PersistError> {
+        let end = match self.pos.checked_add(len) {
+            Some(e) if e <= self.data.len() => e,
+            _ => return self.truncated(),
+        };
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, PersistError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn varint(&mut self) -> Result<usize, PersistError> {
+        let (v, used) = match read_varint(&self.data[self.pos.min(self.data.len())..]) {
+            Some(x) => x,
+            None => return self.truncated(),
+        };
+        self.pos += used;
+        Ok(v)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.data.len()
+    }
 }
 
 /// Save a repository to a single file.
 pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistError> {
     let _ = std::fs::remove_file(path.as_ref());
     let pager = Arc::new(FilePager::open(path.as_ref())?);
+    save_to_pager(repo, pager)
+}
+
+/// Save a repository through an arbitrary pager (the file-format writer;
+/// [`save`] is the thin file-backed wrapper).
+pub fn save_to_pager(repo: &Repository, pager: Arc<dyn Pager>) -> Result<(), PersistError> {
     let pool = Arc::new(BufferPool::new(pager, 256));
 
     // Page 0 is the catalog, filled in at the end.
@@ -164,7 +246,7 @@ pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistErro
             let mut in_chunk = 0usize;
             for idx in 0..c.len() as u32 {
                 chunk.extend_from_slice(&c.parent_of(idx).0.to_le_bytes());
-                let comp = c.compressed(idx);
+                let comp = c.compressed(idx)?;
                 write_varint(&mut chunk, comp.len());
                 chunk.extend_from_slice(comp);
                 in_chunk += 1;
@@ -184,7 +266,7 @@ pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistErro
                 chunk.extend_from_slice(&c.parent_of(idx).0.to_le_bytes());
             }
             containers_heap.append(&chunk)?;
-            let values = c.decompress_all();
+            let values = c.decompress_all()?;
             let mut concat = Vec::new();
             for v in &values {
                 write_varint(&mut concat, v.len());
@@ -215,7 +297,17 @@ pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistErro
 /// Load a repository saved by [`save`].
 pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
     let pager = Arc::new(FilePager::open(path.as_ref())?);
+    load_from_pager(pager)
+}
+
+/// Load a repository through an arbitrary pager. Corrupt input of any shape
+/// yields `Err`, never a panic: all counts, offsets and cross-references are
+/// validated before use.
+pub fn load_from_pager(pager: Arc<dyn Pager>) -> Result<Repository, PersistError> {
     let pool = Arc::new(BufferPool::new(pager, 256));
+    if pool.page_count() == 0 {
+        return corrupt("empty store has no catalog page");
+    }
 
     let (original_bytes, n_nodes, n_paths, n_containers, pages, n_names) =
         pool.with_page(PageId(0), |p| {
@@ -231,16 +323,37 @@ pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
                 p.get_u64(80) as usize,
             ))
         })?
-        .map_or_else(|| corrupt("bad magic"), Ok)?;
+        .map_or_else(|| corrupt("bad catalog magic"), Ok)?;
+
+    let page_count = pool.page_count();
+    for (i, &pg) in pages.iter().enumerate() {
+        if pg >= page_count {
+            return corrupt(format!("catalog root {i} points at page {pg} of {page_count}"));
+        }
+    }
+    // Sanity-cap the claimed object counts: every node costs at least one
+    // byte somewhere, so counts beyond the store size are corrupt (and would
+    // otherwise drive huge preallocations).
+    let store_bytes = page_count.saturating_mul(xquec_storage::PAGE_SIZE as u64) as usize;
+    for (what, n) in
+        [("node", n_nodes), ("summary-node", n_paths), ("container", n_containers), ("name", n_names)]
+    {
+        if n > store_bytes {
+            return corrupt(format!("{what} count {n} exceeds store size"));
+        }
+    }
 
     // Dictionary.
     let dict_heap = Heap::open(pool.clone(), PageId(pages[0]))?;
     let mut dict = NameDictionary::new();
     for rec in dict_heap.scan() {
         let (_, data) = rec?;
-        dict.intern(
-            std::str::from_utf8(&data).map_err(|_| PersistError::Corrupt("name utf8".into()))?,
-        );
+        dict.intern(std::str::from_utf8(&data).map_err(|_| {
+            PersistError::Corrupt("dictionary name is not valid utf8".into())
+        })?);
+        if dict.len() > n_names {
+            return corrupt(format!("more names than the {n_names} declared"));
+        }
     }
     if dict.len() != n_names {
         return corrupt(format!("expected {n_names} names, found {}", dict.len()));
@@ -249,40 +362,46 @@ pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
     // Node records (B+tree iteration yields ascending element ids).
     let nodes_tree = BTree::open(pool.clone(), PageId(pages[1]));
     let mut tree = StructureTree::new();
-    let mut value_refs: Vec<(ElemId, Vec<ValueRef>)> = Vec::with_capacity(n_nodes);
+    let mut value_refs: Vec<(ElemId, Vec<ValueRef>)> = Vec::new();
     for entry in nodes_tree.iter()? {
         let (key, data) = entry?;
         let id = u32::from_be_bytes(
-            key.as_slice().try_into().map_err(|_| PersistError::Corrupt("node key".into()))?,
+            key.as_slice()
+                .try_into()
+                .map_err(|_| PersistError::Corrupt("node key is not 4 bytes".into()))?,
         );
-        let tag = TagCode(u16::from_le_bytes([data[0], data[1]]));
-        let parent_raw = u32::from_le_bytes(data[2..6].try_into().expect("fixed"));
+        let mut r = Reader::new(&data, "node");
+        let tag = TagCode(r.u16()?);
+        let parent_raw = r.u32()?;
         let parent = (parent_raw != u32::MAX).then_some(ElemId(parent_raw));
-        let path = PathId(u32::from_le_bytes(data[6..10].try_into().expect("fixed")));
+        let path = PathId(r.u32()?);
+        if tree.len() >= n_nodes {
+            return corrupt(format!("more node records than the {n_nodes} declared"));
+        }
+        if let Some(p) = parent {
+            // push() indexes the parent's child list; ids are pre-order, so
+            // a parent at or beyond this node is corrupt.
+            if p.0 as usize >= tree.len() {
+                return corrupt(format!("node {id} claims parent {} (not yet seen)", p.0));
+            }
+        }
         let got = tree.push(tag, parent, path);
         if got.0 != id {
             return corrupt("node ids not dense");
         }
-        let (nvals, used) =
-            read_varint(&data[10..]).ok_or_else(|| PersistError::Corrupt("node values".into()))?;
-        let mut pos = 10 + used;
-        let mut refs = Vec::with_capacity(nvals);
+        let nvals = r.varint()?;
+        let mut refs = Vec::with_capacity(nvals.min(1024));
         for _ in 0..nvals {
-            let container =
-                ContainerId(u32::from_le_bytes(data[pos..pos + 4].try_into().expect("fixed")));
-            let index = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("fixed"));
-            pos += 8;
+            let container = ContainerId(r.u32()?);
+            let index = r.u32()?;
             refs.push(ValueRef { container, index });
         }
-        value_refs.push((got, refs));
+        if !refs.is_empty() {
+            value_refs.push((got, refs));
+        }
     }
     if tree.len() != n_nodes {
         return corrupt(format!("expected {n_nodes} nodes, found {}", tree.len()));
-    }
-    for (elem, refs) in value_refs {
-        for r in refs {
-            tree.add_value(elem, r);
-        }
     }
 
     // Summary.
@@ -290,10 +409,14 @@ pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
     let mut summary = StructureSummary::new();
     for (i, rec) in summary_heap.scan().enumerate() {
         let (_, data) = rec?;
-        let kind = data[0];
-        let tag = TagCode(u16::from_le_bytes([data[1], data[2]]));
-        let parent_raw = u32::from_le_bytes(data[3..7].try_into().expect("fixed"));
-        let container_raw = u32::from_le_bytes(data[7..11].try_into().expect("fixed"));
+        if i >= n_paths {
+            return corrupt(format!("more summary nodes than the {n_paths} declared"));
+        }
+        let mut r = Reader::new(&data, "summary");
+        let kind = r.u8()?;
+        let tag = TagCode(r.u16()?);
+        let parent_raw = r.u32()?;
+        let container_raw = r.u32()?;
         let pk = match kind {
             0 => PathKind::Root,
             1 => PathKind::Element(tag),
@@ -304,28 +427,47 @@ pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
         let pid = if kind == 0 {
             summary.root()
         } else {
+            if parent_raw as usize >= summary.len() {
+                return corrupt(format!("summary node {i} claims parent {parent_raw}"));
+            }
             summary.intern_child(PathId(parent_raw), pk)
         };
         if pid.0 as usize != i {
             return corrupt("summary ids not dense");
         }
         if container_raw != u32::MAX {
+            if container_raw as usize >= n_containers {
+                return corrupt(format!(
+                    "summary node {i} points at container {container_raw} of {n_containers}"
+                ));
+            }
             summary.set_container(pid, ContainerId(container_raw));
         }
-        let (n_ext, used) =
-            read_varint(&data[11..]).ok_or_else(|| PersistError::Corrupt("extent".into()))?;
-        let mut pos = 11 + used;
-        let mut prev = 0u32;
+        let n_ext = r.varint()?;
+        let mut prev = 0u64;
         for _ in 0..n_ext {
-            let (delta, used) =
-                read_varint(&data[pos..]).ok_or_else(|| PersistError::Corrupt("extent".into()))?;
-            pos += used;
-            prev += delta as u32;
-            summary.record(pid, ElemId(prev));
+            let delta = r.varint()? as u64;
+            let next = prev.checked_add(delta).filter(|&e| e < n_nodes as u64);
+            match next {
+                Some(e) => {
+                    summary.record(pid, ElemId(e as u32));
+                    prev = e;
+                }
+                None => {
+                    return corrupt(format!("summary node {i} extent leaves the {n_nodes} nodes"))
+                }
+            }
         }
     }
     if summary.len() != n_paths {
         return corrupt(format!("expected {n_paths} summary nodes, found {}", summary.len()));
+    }
+    // Every structure-tree node must point at a real summary path.
+    for i in 0..tree.len() as u32 {
+        let p = tree.node(ElemId(i)).path;
+        if p.0 as usize >= summary.len() {
+            return corrupt(format!("node {i} points at summary path {} of {}", p.0, summary.len()));
+        }
     }
 
     // Models.
@@ -334,89 +476,89 @@ pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
     for rec in models_heap.scan() {
         let (_, data) = rec?;
         let codec = ValueCodec::deserialize(&data)
-            .ok_or_else(|| PersistError::Corrupt("codec blob".into()))?;
+            .ok_or_else(|| PersistError::Corrupt("source model blob does not parse".into()))?;
         models.push(Arc::new(codec));
+        if models.len() > store_bytes {
+            return corrupt("model count exceeds store size");
+        }
     }
 
     // Containers.
     let containers_heap = Heap::open(pool.clone(), PageId(pages[4]))?;
-    let mut containers: Vec<Container> = Vec::with_capacity(n_containers);
-    let mut stats: Vec<ContainerStats> = Vec::with_capacity(n_containers);
+    let mut containers: Vec<Container> = Vec::with_capacity(n_containers.min(4096));
+    let mut stats: Vec<ContainerStats> = Vec::with_capacity(n_containers.min(4096));
     let mut scan = containers_heap.scan();
     for ci in 0..n_containers {
         let (_, header) = scan
             .next()
             .ok_or_else(|| PersistError::Corrupt("missing container header".into()))??;
-        let path = PathId(u32::from_le_bytes(header[0..4].try_into().expect("fixed")));
-        let leaf = match header[4] {
-            0 => ContainerLeaf::Text,
-            1 => ContainerLeaf::Attribute(TagCode(u16::from_le_bytes([header[5], header[6]]))),
+        let mut r = Reader::new(&header, "container header");
+        let path = PathId(r.u32()?);
+        if path.0 as usize >= summary.len() {
+            return corrupt(format!("container {ci} names summary path {}", path.0));
+        }
+        let leaf = match r.u8()? {
+            0 => {
+                r.u16()?;
+                ContainerLeaf::Text
+            }
+            1 => ContainerLeaf::Attribute(TagCode(r.u16()?)),
             k => return corrupt(format!("leaf kind {k}")),
         };
-        let mut pos = 7usize;
-        let vtype = match header[pos] {
-            0 => {
-                pos += 1;
-                ValueType::Str
-            }
-            1 => {
-                pos += 1;
-                ValueType::Int
-            }
-            2 => {
-                pos += 2;
-                ValueType::Decimal(header[pos - 1])
-            }
+        let vtype = match r.u8()? {
+            0 => ValueType::Str,
+            1 => ValueType::Int,
+            2 => ValueType::Decimal(r.u8()?),
             k => return corrupt(format!("vtype {k}")),
         };
-        let mode = header[pos];
-        pos += 1;
-        let model_id = if mode == 0 {
-            let (m, used) =
-                read_varint(&header[pos..]).ok_or_else(|| PersistError::Corrupt("model".into()))?;
-            pos += used;
-            Some(m)
-        } else {
-            None
-        };
-        let (count, _) =
-            read_varint(&header[pos..]).ok_or_else(|| PersistError::Corrupt("count".into()))?;
+        let mode = r.u8()?;
+        let model_id = if mode == 0 { Some(r.varint()?) } else { None };
+        let count = r.varint()?;
+        if count > store_bytes {
+            return corrupt(format!("container {ci} claims {count} records"));
+        }
 
         let cid = ContainerId(ci as u32);
-        if mode == 0 {
-            let codec = models
-                .get(model_id.expect("individual has model"))
+        let c = if mode == 0 {
+            let codec = model_id
+                .and_then(|m| models.get(m))
                 .cloned()
                 .ok_or_else(|| PersistError::Corrupt("model id out of range".into()))?;
             // Read chunks and rebuild via the raw constructor.
-            let mut comps: Vec<Box<[u8]>> = Vec::with_capacity(count);
-            let mut parents: Vec<ElemId> = Vec::with_capacity(count);
+            let mut comps: Vec<Box<[u8]>> = Vec::with_capacity(count.min(CHUNK));
+            let mut parents: Vec<ElemId> = Vec::with_capacity(count.min(CHUNK));
             while comps.len() < count {
                 let (_, chunk) = scan
                     .next()
                     .ok_or_else(|| PersistError::Corrupt("missing container chunk".into()))??;
-                let mut p = 0usize;
-                while p < chunk.len() {
-                    let parent =
-                        ElemId(u32::from_le_bytes(chunk[p..p + 4].try_into().expect("fixed")));
-                    p += 4;
-                    let (len, used) = read_varint(&chunk[p..])
-                        .ok_or_else(|| PersistError::Corrupt("record len".into()))?;
-                    p += used;
-                    comps.push(chunk[p..p + len].to_vec().into_boxed_slice());
-                    p += len;
+                let mut cr = Reader::new(&chunk, "container chunk");
+                while !cr.at_end() {
+                    let parent = ElemId(cr.u32()?);
+                    if parent.0 as u64 >= n_nodes as u64 {
+                        return corrupt(format!(
+                            "container {ci} record parent {} of {n_nodes} nodes",
+                            parent.0
+                        ));
+                    }
+                    let len = cr.varint()?;
+                    comps.push(cr.bytes(len)?.to_vec().into_boxed_slice());
                     parents.push(parent);
                 }
             }
-            let c = Container::from_parts(cid, path, leaf, vtype, codec, comps, parents);
-            stats.push(ContainerStats::from_values(
-                c.decompress_all().iter().map(|s| s.as_str()),
-            ));
-            containers.push(c);
+            if comps.len() != count {
+                return corrupt(format!(
+                    "container {ci} holds {} records, header says {count}",
+                    comps.len()
+                ));
+            }
+            Container::from_parts(cid, path, leaf, vtype, codec, comps, parents)?
         } else {
             let (_, pchunk) = scan
                 .next()
                 .ok_or_else(|| PersistError::Corrupt("missing parents chunk".into()))??;
+            if pchunk.len() % 4 != 0 {
+                return corrupt(format!("container {ci} parents chunk length {}", pchunk.len()));
+            }
             let parents: Vec<ElemId> = pchunk
                 .chunks_exact(4)
                 .map(|b| ElemId(u32::from_le_bytes(b.try_into().expect("fixed"))))
@@ -424,14 +566,40 @@ pub fn load(path: impl AsRef<Path>) -> Result<Repository, PersistError> {
             if parents.len() != count {
                 return corrupt("parents count mismatch");
             }
+            if let Some(bad) = parents.iter().find(|p| p.0 as u64 >= n_nodes as u64) {
+                return corrupt(format!("container {ci} record parent {} out of range", bad.0));
+            }
             let (_, blob) = scan
                 .next()
                 .ok_or_else(|| PersistError::Corrupt("missing block blob".into()))??;
-            let c = Container::from_block_parts(cid, path, leaf, vtype, blob, parents);
-            stats.push(ContainerStats::from_values(
-                c.decompress_all().iter().map(|s| s.as_str()),
-            ));
-            containers.push(c);
+            Container::from_block_parts(cid, path, leaf, vtype, blob, parents)?
+        };
+        stats.push(ContainerStats::from_values(c.decompress_all()?.iter().map(|s| s.as_str())));
+        containers.push(c);
+    }
+
+    // Value refs are only attached once the containers they point into are
+    // known to exist and hold the referenced record.
+    for (elem, refs) in value_refs {
+        for vref in refs {
+            let c = containers.get(vref.container.0 as usize).ok_or_else(|| {
+                PersistError::Corrupt(format!(
+                    "node {} points at container {} of {}",
+                    elem.0,
+                    vref.container.0,
+                    containers.len()
+                ))
+            })?;
+            if vref.index as usize >= c.len() {
+                return corrupt(format!(
+                    "node {} points at record {} of container {} ({} records)",
+                    elem.0,
+                    vref.index,
+                    vref.container.0,
+                    c.len()
+                ));
+            }
+            tree.add_value(elem, vref);
         }
     }
 
@@ -444,6 +612,7 @@ mod tests {
     use crate::loader::{load_with, LoaderOptions, WorkloadSpec};
     use crate::query::Engine;
     use crate::workload::PredOp;
+    use xquec_storage::MemPager;
 
     #[test]
     fn save_load_roundtrip() {
@@ -481,6 +650,19 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_through_mem_pager() {
+        let xml = xquec_xml::gen::Dataset::Xmark.generate(40_000);
+        let repo = load_with(&xml, &LoaderOptions::default()).unwrap();
+        let pager = Arc::new(MemPager::new());
+        save_to_pager(&repo, pager.clone()).unwrap();
+        let revived = load_from_pager(pager).unwrap();
+        assert_eq!(revived.tree.len(), repo.tree.len());
+        let e1 = Engine::new(&repo);
+        let e2 = Engine::new(&revived);
+        assert_eq!(e1.run("count(//person)").unwrap(), e2.run("count(//person)").unwrap());
+    }
+
+    #[test]
     fn load_rejects_garbage() {
         let dir = std::env::temp_dir().join(format!("xquec-persist-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -488,5 +670,11 @@ mod tests {
         std::fs::write(&file, vec![0u8; 8192]).unwrap();
         assert!(super::load(&file).is_err());
         std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_empty_store() {
+        let pager = Arc::new(MemPager::new());
+        assert!(matches!(load_from_pager(pager), Err(PersistError::Corrupt(_))));
     }
 }

@@ -64,6 +64,18 @@ impl From<ParseError> for QueryError {
     }
 }
 
+impl From<crate::container::ContainerError> for QueryError {
+    fn from(e: crate::container::ContainerError) -> Self {
+        QueryError { message: e.to_string() }
+    }
+}
+
+impl From<xquec_compress::CodecError> for QueryError {
+    fn from(e: xquec_compress::CodecError) -> Self {
+        QueryError { message: e.to_string() }
+    }
+}
+
 fn err<T>(msg: impl Into<String>) -> Result<T, QueryError> {
     Err(QueryError { message: msg.into() })
 }
@@ -194,10 +206,15 @@ impl<'r> Engine<'r> {
 
     /// Read one value of a block container, inflating the whole container on
     /// first touch (the deliberate cost of XMill-style storage).
-    fn block_value(&self, cid: ContainerId, idx: u32) -> String {
+    fn block_value(&self, cid: ContainerId, idx: u32) -> Result<String, QueryError> {
+        let fetch = |all: &Rc<Vec<String>>| -> Result<String, QueryError> {
+            all.get(idx as usize).cloned().ok_or_else(|| QueryError {
+                message: format!("value {idx} out of range in container {}", cid.0),
+            })
+        };
         if let Some(all) = self.block_cache.borrow_mut().get(cid) {
             self.stats.borrow_mut().cache_hits += 1;
-            return all[idx as usize].clone();
+            return fetch(&all);
         }
         let c = self.repo.container(cid);
         {
@@ -205,17 +222,17 @@ impl<'r> Engine<'r> {
             st.cache_misses += 1;
             st.decompressions += c.len();
         }
-        let all = Rc::new(c.decompress_all());
+        let all = Rc::new(c.decompress_all()?);
         self.block_cache.borrow_mut().insert(cid, all.clone());
-        all[idx as usize].clone()
+        fetch(&all)
     }
 
     /// Read one container value as plaintext, going through the block cache
     /// for block containers and the per-value memo otherwise.
-    fn read_value(&self, cid: ContainerId, idx: u32) -> String {
+    fn read_value(&self, cid: ContainerId, idx: u32) -> Result<String, QueryError> {
         let c = self.repo.container(cid);
         if c.is_individual() {
-            self.decompress_interned(cid, c.compressed(idx)).to_string()
+            Ok(self.decompress_interned(cid, c.compressed(idx)?)?.to_string())
         } else {
             self.block_value(cid, idx)
         }
@@ -224,7 +241,7 @@ impl<'r> Engine<'r> {
     /// Parse, evaluate and serialize a query.
     pub fn run(&self, query: &str) -> Result<String, QueryError> {
         let seq = self.eval_query(query)?;
-        Ok(self.serialize(&seq))
+        self.serialize(&seq)
     }
 
     /// Parse and evaluate a query, returning the raw sequence.
@@ -276,8 +293,8 @@ impl<'r> Engine<'r> {
                 if l.is_empty() || r.is_empty() {
                     return Ok(vec![]);
                 }
-                let x = self.num_value(&l[0]);
-                let y = self.num_value(&r[0]);
+                let x = self.num_value(&l[0])?;
+                let y = self.num_value(&r[0])?;
                 let v = match op {
                     ArithOp::Add => x + y,
                     ArithOp::Sub => x - y,
@@ -292,7 +309,7 @@ impl<'r> Engine<'r> {
                 if v.is_empty() {
                     return Ok(vec![]);
                 }
-                Ok(vec![Item::Num(-self.num_value(&v[0]))])
+                Ok(vec![Item::Num(-self.num_value(&v[0])?)])
             }
             Expr::If(c, t, e) => {
                 if self.ebv(c, env, ctx)? {
@@ -417,7 +434,10 @@ impl<'r> Engine<'r> {
             let key = match order_key {
                 Some(e) => {
                     let k = self.eval(e, env, ctx)?;
-                    Some(k.first().map(|i| self.string_value(i)).unwrap_or_default())
+                    Some(match k.first() {
+                        Some(i) => self.string_value(i)?,
+                        None => String::new(),
+                    })
                 }
                 None => None,
             };
@@ -446,7 +466,7 @@ impl<'r> Engine<'r> {
                                 continue;
                             }
                             if let Some(filtered) =
-                                self.try_index_conjunct(&nodes, v, conj)
+                                self.try_index_conjunct(&nodes, v, conj)?
                             {
                                 nodes = filtered;
                                 consumed.borrow_mut().insert(conj as *const Expr as usize);
@@ -551,7 +571,7 @@ impl<'r> Engine<'r> {
         let probe_keys = self.eval(outer_side, env, ctx)?;
         let mut match_rows: Vec<u32> = Vec::new();
         for pk in &probe_keys {
-            self.probe_join_index(&index, pk, &mut match_rows);
+            self.probe_join_index(&index, pk, &mut match_rows)?;
         }
         match_rows.sort_unstable();
         match_rows.dedup();
@@ -593,7 +613,7 @@ impl<'r> Engine<'r> {
             env.pop();
             let row = rows.len() as u32;
             rows.push(item);
-            for k in self.atomize_all(&keys) {
+            for k in self.atomize_all(&keys)? {
                 if let Item::Comp { container, .. } = &k {
                     let c = self.repo.container(*container).codec().clone();
                     match &codec {
@@ -619,7 +639,7 @@ impl<'r> Engine<'r> {
         // Mixed key sources: index decompressed strings.
         let mut by_str: HashMap<String, Vec<u32>> = HashMap::new();
         for (row, k) in keyed {
-            by_str.entry(self.string_value(&k)).or_default().push(row);
+            by_str.entry(self.string_value(&k)?).or_default().push(row);
         }
         Ok(JoinIndex {
             rows,
@@ -629,8 +649,13 @@ impl<'r> Engine<'r> {
         })
     }
 
-    fn probe_join_index(&self, index: &JoinIndex, probe: &Item, out: &mut Vec<u32>) {
-        for atom in self.atomize_all(std::slice::from_ref(probe)) {
+    fn probe_join_index(
+        &self,
+        index: &JoinIndex,
+        probe: &Item,
+        out: &mut Vec<u32>,
+    ) -> Result<(), QueryError> {
+        for atom in self.atomize_all(std::slice::from_ref(probe))? {
             match (&atom, &index.codec) {
                 (Item::Comp { container, bytes }, Some(codec))
                     if Arc::ptr_eq(self.repo.container(*container).codec(), codec) =>
@@ -643,14 +668,14 @@ impl<'r> Engine<'r> {
                 }
                 _ => {
                     // Fall back to a lazily built decompressed-key index.
-                    let s = self.string_value(&atom);
+                    let s = self.string_value(&atom)?;
                     let mut by_str = index.by_str.borrow_mut();
                     if by_str.is_none() {
                         let mut m: HashMap<String, Vec<u32>> = HashMap::new();
                         if let Some(codec) = &index.codec {
                             for (k, rows) in &index.by_bytes {
                                 self.stats.borrow_mut().decompressions += 1;
-                                let plain = String::from_utf8_lossy(&codec.decompress(k))
+                                let plain = String::from_utf8_lossy(&codec.decompress(k)?)
                                     .into_owned();
                                 m.entry(plain).or_default().extend(rows.iter().copied());
                             }
@@ -663,6 +688,7 @@ impl<'r> Engine<'r> {
                 }
             }
         }
+        Ok(())
     }
 
     // ---- paths ------------------------------------------------------------
@@ -783,14 +809,14 @@ impl<'r> Engine<'r> {
                     if !last {
                         return err("text() must be the final step");
                     }
-                    return Ok(self.values_of(&nodes, None));
+                    return self.values_of(&nodes, None);
                 }
                 NodeTest::Attr(name) => {
                     if !last {
                         return err("attribute step must be the final step");
                     }
                     let Some(code) = self.repo.dict.code(name) else { return Ok(vec![]) };
-                    return Ok(self.values_of(&nodes, Some(code)));
+                    return self.values_of(&nodes, Some(code));
                 }
                 NodeTest::Tag(_) | NodeTest::AnyElement => {
                     nodes = self.element_step(&nodes, step, env, ctx)?;
@@ -804,7 +830,7 @@ impl<'r> Engine<'r> {
     }
 
     /// `TextContent`: pair elements with their values through value refs.
-    fn values_of(&self, nodes: &[ElemId], attr: Option<TagCode>) -> Sequence {
+    fn values_of(&self, nodes: &[ElemId], attr: Option<TagCode>) -> Result<Sequence, QueryError> {
         let mut out = Vec::new();
         for &n in nodes {
             for vr in self.repo.tree.values(n) {
@@ -818,18 +844,18 @@ impl<'r> Engine<'r> {
                     if c.is_individual() {
                         out.push(Item::Comp {
                             container: vr.container,
-                            bytes: Rc::from(c.compressed(vr.index)),
+                            bytes: Rc::from(c.compressed(vr.index)?),
                         });
                     } else {
                         // Block container: whole-container decompression.
                         out.push(Item::Str(Rc::from(
-                            self.block_value(vr.container, vr.index).as_str(),
+                            self.block_value(vr.container, vr.index)?.as_str(),
                         )));
                     }
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     fn element_step(
@@ -888,7 +914,7 @@ impl<'r> Engine<'r> {
         // Boolean filters, with the ContAccess pushdown attempt first.
         for pred in &step.predicates {
             let StepPredicate::Filter(f) = pred else { continue };
-            if let Some(filtered) = self.try_filter_index(&out, f) {
+            if let Some(filtered) = self.try_filter_index(&out, f)? {
                 out = filtered;
                 continue;
             }
@@ -932,9 +958,14 @@ impl<'r> Engine<'r> {
     // ---- ContAccess pushdown --------------------------------------------
 
     /// Try to answer a step filter `[relpath op const]` via container ranges.
-    fn try_filter_index(&self, candidates: &[ElemId], filter: &Expr) -> Option<Vec<ElemId>> {
-        let (op, rel, konst) = split_cmp_const(filter)?;
-        let PathExpr { root: PathRoot::Context, steps } = rel else { return None };
+    /// `Ok(None)` means "not indexable, fall back to a scan".
+    fn try_filter_index(
+        &self,
+        candidates: &[ElemId],
+        filter: &Expr,
+    ) -> Result<Option<Vec<ElemId>>, QueryError> {
+        let Some((op, rel, konst)) = split_cmp_const(filter) else { return Ok(None) };
+        let PathExpr { root: PathRoot::Context, steps } = rel else { return Ok(None) };
         self.index_candidates(candidates, steps, op, konst)
     }
 
@@ -945,11 +976,11 @@ impl<'r> Engine<'r> {
         candidates: &[ElemId],
         var: &str,
         conj: &Expr,
-    ) -> Option<Vec<ElemId>> {
-        let (op, rel, konst) = split_cmp_const(conj)?;
+    ) -> Result<Option<Vec<ElemId>>, QueryError> {
+        let Some((op, rel, konst)) = split_cmp_const(conj) else { return Ok(None) };
         match &rel.root {
             PathRoot::Var(v) if v == var => {}
-            _ => return None,
+            _ => return Ok(None),
         }
         self.index_candidates(candidates, &rel.steps, op, konst)
     }
@@ -960,21 +991,22 @@ impl<'r> Engine<'r> {
         rel_steps: &[Step],
         op: CmpOp,
         konst: &Expr,
-    ) -> Option<Vec<ElemId>> {
+    ) -> Result<Option<Vec<ElemId>>, QueryError> {
         if candidates.is_empty() {
-            return Some(vec![]);
+            return Ok(Some(vec![]));
         }
         if op == CmpOp::Ne {
-            return None; // != is not a range
+            return Ok(None); // != is not a range
         }
         // Relative path must be structural child steps ending in a value test.
-        let (elem_steps, value_test) = rel_steps.split_at(rel_steps.len().checked_sub(1)?);
+        let Some(split) = rel_steps.len().checked_sub(1) else { return Ok(None) };
+        let (elem_steps, value_test) = rel_steps.split_at(split);
         let value_test = &value_test[0];
         if rel_steps.iter().any(|s| !s.predicates.is_empty() || s.axis != Axis::Child) {
-            return None;
+            return Ok(None);
         }
         if elem_steps.iter().any(|s| !matches!(s.test, NodeTest::Tag(_))) {
-            return None;
+            return Ok(None);
         }
         // Resolve the candidates' summary paths down the relative steps.
         let mut cpaths: Vec<PathId> = candidates.iter().map(|&c| self.repo.tree.path(c)).collect();
@@ -984,8 +1016,8 @@ impl<'r> Engine<'r> {
         for mut p in cpaths {
             let mut ok = true;
             for s in elem_steps {
-                let NodeTest::Tag(t) = &s.test else { return None };
-                let code = self.repo.dict.code(t)?;
+                let NodeTest::Tag(t) = &s.test else { return Ok(None) };
+                let Some(code) = self.repo.dict.code(t) else { return Ok(None) };
                 match self.repo.summary.child_element(p, code) {
                     Some(next) => p = next,
                     None => {
@@ -1007,7 +1039,7 @@ impl<'r> Engine<'r> {
                     .copied()
                     .find(|&c| self.repo.summary.node(c).kind == PathKind::Text),
                 NodeTest::Attr(a) => {
-                    let code = self.repo.dict.code(a)?;
+                    let Some(code) = self.repo.dict.code(a) else { return Ok(None) };
                     self.repo
                         .summary
                         .node(p)
@@ -1016,7 +1048,7 @@ impl<'r> Engine<'r> {
                         .copied()
                         .find(|&c| self.repo.summary.node(c).kind == PathKind::Attribute(code))
                 }
-                _ => return None,
+                _ => return Ok(None),
             };
             if let Some(l) = leaf {
                 leafs.push(l);
@@ -1025,19 +1057,19 @@ impl<'r> Engine<'r> {
         let up = elem_steps.len();
         let mut hits: HashSet<ElemId> = HashSet::new();
         for leaf in leafs {
-            let cid = self.repo.summary.node(leaf).container?;
+            let Some(cid) = self.repo.summary.node(leaf).container else { return Ok(None) };
             let c = self.repo.container(cid);
             if !c.is_individual() {
-                return None;
+                return Ok(None);
             }
-            let bound = self.bound_string(c, konst)?;
+            let Some(bound) = self.bound_string(c, konst) else { return Ok(None) };
             let range = match op {
-                CmpOp::Eq => c.equal_range(bound.as_bytes()),
-                CmpOp::Lt => 0..c.lower_bound(bound.as_bytes()),
-                CmpOp::Le => 0..c.upper_bound(bound.as_bytes()),
-                CmpOp::Gt => c.upper_bound(bound.as_bytes())..c.len() as u32,
-                CmpOp::Ge => c.lower_bound(bound.as_bytes())..c.len() as u32,
-                CmpOp::Ne => return None,
+                CmpOp::Eq => c.equal_range(bound.as_bytes())?,
+                CmpOp::Lt => 0..c.lower_bound(bound.as_bytes())?,
+                CmpOp::Le => 0..c.upper_bound(bound.as_bytes())?,
+                CmpOp::Gt => c.upper_bound(bound.as_bytes())?..c.len() as u32,
+                CmpOp::Ge => c.lower_bound(bound.as_bytes())?..c.len() as u32,
+                CmpOp::Ne => return Ok(None),
             };
             self.stats.borrow_mut().operators.push(format!(
                 "ContAccess[{} {} {:?} -> {} records]",
@@ -1049,12 +1081,15 @@ impl<'r> Engine<'r> {
             for idx in range {
                 let mut owner = c.parent_of(idx);
                 for _ in 0..up {
-                    owner = self.repo.tree.parent(owner)?;
+                    match self.repo.tree.parent(owner) {
+                        Some(p) => owner = p,
+                        None => return Ok(None),
+                    }
                 }
                 hits.insert(owner);
             }
         }
-        Some(candidates.iter().copied().filter(|c| hits.contains(c)).collect())
+        Ok(Some(candidates.iter().copied().filter(|c| hits.contains(c)).collect()))
     }
 
     /// Render a constant for binary search in `c`'s value order; `None` when
@@ -1084,8 +1119,8 @@ impl<'r> Engine<'r> {
 
     /// General (existential) comparison.
     fn general_compare(&self, op: CmpOp, l: &Sequence, r: &Sequence) -> Result<bool, QueryError> {
-        let la = self.atomize_all(l);
-        let ra = self.atomize_all(r);
+        let la = self.atomize_all(l)?;
+        let ra = self.atomize_all(r)?;
         for a in &la {
             for b in &ra {
                 if self.compare_pair(op, a, b)? {
@@ -1097,23 +1132,25 @@ impl<'r> Engine<'r> {
     }
 
     /// Atomization: nodes become their (still compressed) text values.
-    fn atomize_all(&self, seq: &[Item]) -> Sequence {
+    fn atomize_all(&self, seq: &[Item]) -> Result<Sequence, QueryError> {
         let mut out = Vec::with_capacity(seq.len());
         for item in seq {
             match item {
                 Item::Node(n) => {
-                    let vals = self.values_of(std::slice::from_ref(n), None);
+                    let vals = self.values_of(std::slice::from_ref(n), None)?;
                     if vals.is_empty() {
-                        out.push(Item::Str(Rc::from(self.string_value(item).as_str())));
+                        out.push(Item::Str(Rc::from(self.string_value(item)?.as_str())));
                     } else {
                         out.extend(vals);
                     }
                 }
-                Item::Tree(_) => out.push(Item::Str(Rc::from(self.string_value(item).as_str()))),
+                Item::Tree(_) => {
+                    out.push(Item::Str(Rc::from(self.string_value(item)?.as_str())))
+                }
                 other => out.push(other.clone()),
             }
         }
-        out
+        Ok(out)
     }
 
     fn compare_pair(&self, op: CmpOp, a: &Item, b: &Item) -> Result<bool, QueryError> {
@@ -1143,19 +1180,17 @@ impl<'r> Engine<'r> {
                 if c.vtype != ValueType::Str && c.is_individual() {
                     if let Some(bound) = self.bound_string(c, &Expr::Num(num)) {
                         if let Some(cb) = c.codec().compress(bound.as_bytes()) {
-                            let ord = c
-                                .codec()
-                                .cmp_compressed(bytes, &cb)
-                                .expect("numeric codecs are order-preserving");
-                            self.stats.borrow_mut().compressed_cmp += 1;
-                            let ord = if flipped { ord.reverse() } else { ord };
-                            return Ok(ord_ok(ord));
+                            if let Some(ord) = c.codec().cmp_compressed(bytes, &cb)? {
+                                self.stats.borrow_mut().compressed_cmp += 1;
+                                let ord = if flipped { ord.reverse() } else { ord };
+                                return Ok(ord_ok(ord));
+                            }
                         }
                     }
                 }
             }
-            let x = self.num_value(a);
-            let y = self.num_value(b);
+            let x = self.num_value(a)?;
+            let y = self.num_value(b)?;
             if x.is_nan() || y.is_nan() {
                 return Ok(false);
             }
@@ -1180,13 +1215,13 @@ impl<'r> Engine<'r> {
                         self.stats.borrow_mut().compressed_eq += 1;
                         return Ok(ord_ok(ba.as_ref().cmp(bb.as_ref())));
                     }
-                    if let Some(ord) = cca.cmp_compressed(ba, bb) {
+                    if let Some(ord) = cca.cmp_compressed(ba, bb)? {
                         self.stats.borrow_mut().compressed_cmp += 1;
                         return Ok(ord_ok(ord));
                     }
                 }
-                let x = self.string_value(a);
-                let y = self.string_value(b);
+                let x = self.string_value(a)?;
+                let y = self.string_value(b)?;
                 Ok(ord_ok(x.cmp(&y)))
             }
             (Item::Comp { container, bytes }, Item::Str(s))
@@ -1201,20 +1236,20 @@ impl<'r> Engine<'r> {
                             let ord = if flipped { ord.reverse() } else { ord };
                             return Ok(ord_ok(ord));
                         }
-                        if let Some(ord) = c.codec().cmp_compressed(bytes, &cb) {
+                        if let Some(ord) = c.codec().cmp_compressed(bytes, &cb)? {
                             self.stats.borrow_mut().compressed_cmp += 1;
                             let ord = if flipped { ord.reverse() } else { ord };
                             return Ok(ord_ok(ord));
                         }
                     }
                 }
-                let x = self.string_value(a);
-                let y = self.string_value(b);
+                let x = self.string_value(a)?;
+                let y = self.string_value(b)?;
                 Ok(ord_ok(x.cmp(&y)))
             }
             _ => {
-                let x = self.string_value(a);
-                let y = self.string_value(b);
+                let x = self.string_value(a)?;
+                let y = self.string_value(b)?;
                 Ok(ord_ok(x.cmp(&y)))
             }
         }
@@ -1245,8 +1280,10 @@ impl<'r> Engine<'r> {
             }
             "sum" | "avg" | "min" | "max" => {
                 let s = eval_arg(0, env)?;
-                let nums: Vec<f64> =
-                    self.atomize_all(&s).iter().map(|i| self.num_value(i)).collect();
+                let mut nums: Vec<f64> = Vec::new();
+                for i in self.atomize_all(&s)? {
+                    nums.push(self.num_value(&i)?);
+                }
                 if nums.is_empty() {
                     return Ok(if name == "sum" { vec![Item::Num(0.0)] } else { vec![] });
                 }
@@ -1273,17 +1310,29 @@ impl<'r> Engine<'r> {
             "contains" => {
                 let hay = eval_arg(0, env)?;
                 let needle = eval_arg(1, env)?;
-                let n = needle.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let n = match needle.first() {
+                    Some(i) => self.string_value(i)?,
+                    None => String::new(),
+                };
                 // Substring match requires plaintext (§2.1: wildcard
                 // operations decompress).
-                let found = hay.iter().any(|h| self.string_value(h).contains(&n));
+                let mut found = false;
+                for h in &hay {
+                    if self.string_value(h)?.contains(&n) {
+                        found = true;
+                        break;
+                    }
+                }
                 Ok(vec![Item::Bool(found)])
             }
             "starts-with" => {
                 let s = eval_arg(0, env)?;
                 let p = eval_arg(1, env)?;
-                let prefix = p.first().map(|i| self.string_value(i)).unwrap_or_default();
-                let atoms = self.atomize_all(&s);
+                let prefix = match p.first() {
+                    Some(i) => self.string_value(i)?,
+                    None => String::new(),
+                };
+                let atoms = self.atomize_all(&s)?;
                 let Some(first) = atoms.first() else { return Ok(vec![Item::Bool(false)]) };
                 // Prefix match in the compressed domain when supported
                 // (Huffman's `wild` property).
@@ -1294,7 +1343,7 @@ impl<'r> Engine<'r> {
                         return Ok(vec![Item::Bool(m)]);
                     }
                 }
-                Ok(vec![Item::Bool(self.string_value(first).starts_with(&prefix))])
+                Ok(vec![Item::Bool(self.string_value(first)?.starts_with(&prefix))])
             }
             "zero-or-one" => {
                 let s = eval_arg(0, env)?;
@@ -1305,18 +1354,25 @@ impl<'r> Engine<'r> {
             }
             "string" => {
                 let s = eval_arg(0, env)?;
-                Ok(s.first()
-                    .map(|i| Item::Str(Rc::from(self.string_value(i).as_str())))
-                    .into_iter()
-                    .collect())
+                Ok(match s.first() {
+                    Some(i) => vec![Item::Str(Rc::from(self.string_value(i)?.as_str()))],
+                    None => vec![],
+                })
             }
             "number" => {
                 let s = eval_arg(0, env)?;
-                Ok(vec![Item::Num(s.first().map(|i| self.num_value(i)).unwrap_or(f64::NAN))])
+                let v = match s.first() {
+                    Some(i) => self.num_value(i)?,
+                    None => f64::NAN,
+                };
+                Ok(vec![Item::Num(v)])
             }
             "string-length" => {
                 let s = eval_arg(0, env)?;
-                let len = s.first().map(|i| self.string_value(i).chars().count()).unwrap_or(0);
+                let len = match s.first() {
+                    Some(i) => self.string_value(i)?.chars().count(),
+                    None => 0,
+                };
                 Ok(vec![Item::Num(len as f64)])
             }
             "concat" => {
@@ -1324,18 +1380,21 @@ impl<'r> Engine<'r> {
                 for i in 0..args.len() {
                     let s = eval_arg(i, env)?;
                     if let Some(item) = s.first() {
-                        out.push_str(&self.string_value(item));
+                        out.push_str(&self.string_value(item)?);
                     }
                 }
                 Ok(vec![Item::Str(Rc::from(out.as_str()))])
             }
             "round" => {
                 let s = eval_arg(0, env)?;
-                Ok(s.first().map(|i| Item::Num(self.num_value(i).round())).into_iter().collect())
+                Ok(match s.first() {
+                    Some(i) => vec![Item::Num(self.num_value(i)?.round())],
+                    None => vec![],
+                })
             }
             "distinct-values" => {
                 let s = eval_arg(0, env)?;
-                let atoms = self.atomize_all(&s);
+                let atoms = self.atomize_all(&s)?;
                 // Pass 1: deduplicate compressed values on their bytes —
                 // identical strings from one source model compress
                 // identically, so no decompression is needed yet.
@@ -1366,7 +1425,7 @@ impl<'r> Engine<'r> {
                 let mut seen_str: HashSet<String> = HashSet::new();
                 let mut out = Vec::new();
                 for item in survivors {
-                    if seen_str.insert(self.string_value(&item)) {
+                    if seen_str.insert(self.string_value(&item)?) {
                         out.push(item);
                     }
                 }
@@ -1374,10 +1433,19 @@ impl<'r> Engine<'r> {
             }
             "substring" => {
                 let s = eval_arg(0, env)?;
-                let text = s.first().map(|i| self.string_value(i)).unwrap_or_default();
-                let start = eval_arg(1, env)?.first().map(|i| self.num_value(i)).unwrap_or(1.0);
+                let text = match s.first() {
+                    Some(i) => self.string_value(i)?,
+                    None => String::new(),
+                };
+                let start = match eval_arg(1, env)?.first() {
+                    Some(i) => self.num_value(i)?,
+                    None => 1.0,
+                };
                 let len = if args.len() > 2 {
-                    eval_arg(2, env)?.first().map(|i| self.num_value(i)).unwrap_or(0.0)
+                    match eval_arg(2, env)?.first() {
+                        Some(i) => self.num_value(i)?,
+                        None => 0.0,
+                    }
                 } else {
                     f64::INFINITY
                 };
@@ -1394,40 +1462,52 @@ impl<'r> Engine<'r> {
             }
             "upper-case" | "lower-case" => {
                 let s = eval_arg(0, env)?;
-                let text = s.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let text = match s.first() {
+                    Some(i) => self.string_value(i)?,
+                    None => String::new(),
+                };
                 let out =
                     if name == "upper-case" { text.to_uppercase() } else { text.to_lowercase() };
                 Ok(vec![Item::Str(Rc::from(out.as_str()))])
             }
             "normalize-space" => {
                 let s = eval_arg(0, env)?;
-                let text = s.first().map(|i| self.string_value(i)).unwrap_or_default();
+                let text = match s.first() {
+                    Some(i) => self.string_value(i)?,
+                    None => String::new(),
+                };
                 let out = text.split_whitespace().collect::<Vec<_>>().join(" ");
                 Ok(vec![Item::Str(Rc::from(out.as_str()))])
             }
             "string-join" => {
                 let s = eval_arg(0, env)?;
                 let sep = if args.len() > 1 {
-                    eval_arg(1, env)?.first().map(|i| self.string_value(i)).unwrap_or_default()
+                    match eval_arg(1, env)?.first() {
+                        Some(i) => self.string_value(i)?,
+                        None => String::new(),
+                    }
                 } else {
                     String::new()
                 };
-                let parts: Vec<String> = s.iter().map(|i| self.string_value(i)).collect();
+                let mut parts: Vec<String> = Vec::with_capacity(s.len());
+                for i in &s {
+                    parts.push(self.string_value(i)?);
+                }
                 Ok(vec![Item::Str(Rc::from(parts.join(&sep).as_str()))])
             }
             "abs" | "floor" | "ceiling" => {
                 let s = eval_arg(0, env)?;
-                Ok(s.first()
-                    .map(|i| {
-                        let n = self.num_value(i);
-                        Item::Num(match name {
+                Ok(match s.first() {
+                    Some(i) => {
+                        let n = self.num_value(i)?;
+                        vec![Item::Num(match name {
                             "abs" => n.abs(),
                             "floor" => n.floor(),
                             _ => n.ceil(),
-                        })
-                    })
-                    .into_iter()
-                    .collect())
+                        })]
+                    }
+                    None => vec![],
+                })
             }
             "name" => {
                 let s = eval_arg(0, env)?;
@@ -1446,15 +1526,19 @@ impl<'r> Engine<'r> {
     // ---- string/number views -------------------------------------------
 
     /// Decompress a container value (counted, memoized per query).
-    fn decompress(&self, container: ContainerId, bytes: &[u8]) -> String {
-        self.decompress_interned(container, bytes).to_string()
+    fn decompress(&self, container: ContainerId, bytes: &[u8]) -> Result<String, QueryError> {
+        Ok(self.decompress_interned(container, bytes)?.to_string())
     }
 
     /// Decompress a container value through the per-query memo: each
     /// distinct compressed byte string decodes at most once per query, and
     /// repeated readers share one interned `Rc<str>`. Only a miss counts as
     /// a decompression.
-    fn decompress_interned(&self, container: ContainerId, bytes: &[u8]) -> Rc<str> {
+    fn decompress_interned(
+        &self,
+        container: ContainerId,
+        bytes: &[u8],
+    ) -> Result<Rc<str>, QueryError> {
         if let Some(hit) = self
             .value_cache
             .borrow()
@@ -1463,80 +1547,82 @@ impl<'r> Engine<'r> {
             .cloned()
         {
             self.stats.borrow_mut().cache_hits += 1;
-            return hit;
+            return Ok(hit);
         }
         {
             let mut st = self.stats.borrow_mut();
             st.cache_misses += 1;
             st.decompressions += 1;
         }
-        let raw = self.repo.container(container).codec().decompress(bytes);
+        let raw = self.repo.container(container).codec().decompress(bytes)?;
         let plain: Rc<str> = Rc::from(String::from_utf8_lossy(&raw).into_owned());
         self.value_cache
             .borrow_mut()
             .entry(container)
             .or_default()
             .insert(bytes.to_vec().into_boxed_slice(), plain.clone());
-        plain
+        Ok(plain)
     }
 
     /// The XPath string value of an item.
-    pub fn string_value(&self, item: &Item) -> String {
-        match item {
+    pub fn string_value(&self, item: &Item) -> Result<String, QueryError> {
+        Ok(match item {
             Item::Str(s) => s.to_string(),
             Item::Num(n) => format_number(*n),
             Item::Bool(b) => b.to_string(),
-            Item::Comp { container, bytes } => self.decompress(*container, bytes),
+            Item::Comp { container, bytes } => self.decompress(*container, bytes)?,
             Item::Node(n) => {
                 let mut out = String::new();
-                self.node_text(*n, &mut out);
+                self.node_text(*n, &mut out)?;
                 out
             }
             Item::Tree(f) => {
                 let mut out = String::new();
-                self.fragment_text(f, &mut out);
+                self.fragment_text(f, &mut out)?;
                 out
             }
-        }
+        })
     }
 
-    fn node_text(&self, n: ElemId, out: &mut String) {
+    fn node_text(&self, n: ElemId, out: &mut String) -> Result<(), QueryError> {
         for vr in self.repo.tree.values(n) {
             let c = self.repo.container(vr.container);
             if matches!(c.leaf, ContainerLeaf::Text) {
-                out.push_str(&self.read_value(vr.container, vr.index));
+                out.push_str(&self.read_value(vr.container, vr.index)?);
             }
         }
         for child in self.repo.tree.children(n, None) {
-            self.node_text(child, out);
+            self.node_text(child, out)?;
         }
+        Ok(())
     }
 
-    fn fragment_text(&self, f: &Fragment, out: &mut String) {
+    fn fragment_text(&self, f: &Fragment, out: &mut String) -> Result<(), QueryError> {
         for child in &f.children {
             for item in child {
                 match item {
-                    Item::Tree(t) => self.fragment_text(t, out),
-                    Item::Node(n) => self.node_text(*n, out),
-                    other => out.push_str(&self.string_value(other)),
+                    Item::Tree(t) => self.fragment_text(t, out)?,
+                    Item::Node(n) => self.node_text(*n, out)?,
+                    other => out.push_str(&self.string_value(other)?),
                 }
             }
         }
+        Ok(())
     }
 
     /// Numeric value of an item (NaN when not a number).
-    pub fn num_value(&self, item: &Item) -> f64 {
-        match item {
+    pub fn num_value(&self, item: &Item) -> Result<f64, QueryError> {
+        Ok(match item {
             Item::Num(n) => *n,
             Item::Bool(b) => f64::from(*b),
-            other => self.string_value(other).trim().parse().unwrap_or(f64::NAN),
-        }
+            other => self.string_value(other)?.trim().parse().unwrap_or(f64::NAN),
+        })
     }
 
     // ---- serialization (XMLSerialize + final Decompress) ----------------
 
     /// Serialize a result sequence to XML text.
-    pub fn serialize(&self, seq: &Sequence) -> String {
+    pub fn serialize(&self, seq: &Sequence) -> Result<String, QueryError> {
         let mut out = String::new();
         let mut prev_atomic = false;
         for item in seq {
@@ -1544,22 +1630,23 @@ impl<'r> Engine<'r> {
             if atomic && prev_atomic {
                 out.push(' ');
             }
-            self.serialize_item(item, &mut out);
+            self.serialize_item(item, &mut out)?;
             prev_atomic = atomic;
         }
-        out
+        Ok(out)
     }
 
-    fn serialize_item(&self, item: &Item, out: &mut String) {
+    fn serialize_item(&self, item: &Item, out: &mut String) -> Result<(), QueryError> {
         match item {
-            Item::Node(n) => self.serialize_element(*n, out),
-            Item::Tree(f) => self.serialize_fragment(f, out),
-            other => out.push_str(&xquec_xml::escape::escape_text(&self.string_value(other))),
+            Item::Node(n) => self.serialize_element(*n, out)?,
+            Item::Tree(f) => self.serialize_fragment(f, out)?,
+            other => out.push_str(&xquec_xml::escape::escape_text(&self.string_value(other)?)),
         }
+        Ok(())
     }
 
     /// Reconstruct an element subtree from the compressed repository.
-    pub fn serialize_element(&self, n: ElemId, out: &mut String) {
+    pub fn serialize_element(&self, n: ElemId, out: &mut String) -> Result<(), QueryError> {
         let tag = self.repo.dict.name(self.repo.tree.tag(n));
         out.push('<');
         out.push_str(tag);
@@ -1572,41 +1659,45 @@ impl<'r> Engine<'r> {
                         out,
                         " {}=\"{}\"",
                         self.repo.dict.name(code),
-                        xquec_xml::escape::escape_attr(&self.read_value(vr.container, vr.index))
+                        xquec_xml::escape::escape_attr(&self.read_value(vr.container, vr.index)?)
                     );
                 }
                 ContainerLeaf::Text => {
-                    texts.push(self.read_value(vr.container, vr.index));
+                    texts.push(self.read_value(vr.container, vr.index)?);
                 }
             }
         }
         let children: Vec<ElemId> = self.repo.tree.children(n, None).collect();
         if texts.is_empty() && children.is_empty() {
             out.push_str("/>");
-            return;
+            return Ok(());
         }
         out.push('>');
         for t in &texts {
             out.push_str(&xquec_xml::escape::escape_text(t));
         }
         for c in children {
-            self.serialize_element(c, out);
+            self.serialize_element(c, out)?;
         }
         out.push_str("</");
         out.push_str(tag);
         out.push('>');
+        Ok(())
     }
 
-    fn serialize_fragment(&self, f: &Fragment, out: &mut String) {
+    fn serialize_fragment(&self, f: &Fragment, out: &mut String) -> Result<(), QueryError> {
         out.push('<');
         out.push_str(&f.tag);
         for (name, value) in &f.attrs {
-            let text: Vec<String> = value.iter().map(|i| self.string_value(i)).collect();
+            let mut text: Vec<String> = Vec::with_capacity(value.len());
+            for i in value {
+                text.push(self.string_value(i)?);
+            }
             let _ = write!(out, " {}=\"{}\"", name, xquec_xml::escape::escape_attr(&text.join(" ")));
         }
         if f.children.iter().all(|c| c.is_empty()) {
             out.push_str("/>");
-            return;
+            return Ok(());
         }
         out.push('>');
         for child in &f.children {
@@ -1616,13 +1707,14 @@ impl<'r> Engine<'r> {
                 if atomic && prev_atomic {
                     out.push(' ');
                 }
-                self.serialize_item(item, out);
+                self.serialize_item(item, out)?;
                 prev_atomic = atomic;
             }
         }
         out.push_str("</");
         out.push_str(&f.tag);
         out.push('>');
+        Ok(())
     }
 }
 

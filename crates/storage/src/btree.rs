@@ -22,6 +22,11 @@ pub const MAX_VALUE: usize = 2048;
 const LEAF_TAG: u8 = 1;
 const INTERNAL_TAG: u8 = 2;
 
+/// Hard bound on root-to-leaf path length. A healthy tree over this page
+/// size is a handful of levels deep; hitting this bound means the child
+/// pointers of a corrupt file form a cycle.
+const MAX_DEPTH: usize = 64;
+
 /// Separator key and right sibling produced when an insert splits a node.
 type Split = (Vec<u8>, PageId);
 
@@ -77,7 +82,7 @@ impl BTree {
         if value.len() > MAX_VALUE {
             return Err(StorageError::RecordTooLarge { size: value.len(), max: MAX_VALUE });
         }
-        let (old, split) = self.insert_rec(self.root, key, value)?;
+        let (old, split) = self.insert_rec(self.root, key, value, 0)?;
         if let Some((sep, right)) = split {
             // Grow a new root.
             let new_root = self.pool.allocate()?;
@@ -91,7 +96,7 @@ impl BTree {
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page = self.root;
-        loop {
+        for _ in 0..MAX_DEPTH {
             match self.read_node(page)? {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= key);
@@ -105,12 +110,20 @@ impl BTree {
                 }
             }
         }
+        Err(self.cycle_error())
+    }
+
+    fn cycle_error(&self) -> StorageError {
+        StorageError::corrupt_at(
+            self.root.0,
+            format!("no leaf within {MAX_DEPTH} levels of the root (child-pointer cycle)"),
+        )
     }
 
     /// Remove a key; returns the removed value. Leaves may become underfull.
     pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page = self.root;
-        loop {
+        for _ in 0..MAX_DEPTH {
             match self.read_node(page)? {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= key);
@@ -129,12 +142,13 @@ impl BTree {
                 }
             }
         }
+        Err(self.cycle_error())
     }
 
     /// Iterate entries with `key >= start` in ascending key order.
     pub fn range_from(&self, start: &[u8]) -> Result<BTreeIter<'_>> {
         let mut page = self.root;
-        loop {
+        for _ in 0..MAX_DEPTH {
             match self.read_node(page)? {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|k| k.as_slice() <= start);
@@ -147,11 +161,13 @@ impl BTree {
                         entries,
                         pos,
                         next,
+                        budget: self.pool.page_count(),
                         error: None,
                     });
                 }
             }
         }
+        Err(self.cycle_error())
     }
 
     /// Iterate all entries in key order.
@@ -179,7 +195,11 @@ impl BTree {
         page: PageId,
         key: &[u8],
         value: &[u8],
+        depth: usize,
     ) -> Result<(Option<Vec<u8>>, Option<Split>)> {
+        if depth >= MAX_DEPTH {
+            return Err(self.cycle_error());
+        }
         match self.read_node(page)? {
             Node::Leaf { mut entries, next } => {
                 let pos = entries.partition_point(|(k, _)| k.as_slice() < key);
@@ -206,7 +226,7 @@ impl BTree {
             }
             Node::Internal { mut keys, mut children } => {
                 let idx = keys.partition_point(|k| k.as_slice() <= key);
-                let (old, split) = self.insert_rec(children[idx], key, value)?;
+                let (old, split) = self.insert_rec(children[idx], key, value, depth + 1)?;
                 if let Some((sep, new_child)) = split {
                     keys.insert(idx, sep);
                     children.insert(idx + 1, new_child);
@@ -231,21 +251,40 @@ impl BTree {
     }
 
     fn read_node(&self, id: PageId) -> Result<Node> {
+        let corrupt = |detail: String| StorageError::corrupt_at(id.0, detail);
         self.pool.with_page(id, |p| -> Result<Node> {
             match p.bytes()[0] {
                 LEAF_TAG => {
                     let n = p.get_u16(1) as usize;
+                    // Each entry needs at least its 4-byte header.
+                    if 11 + n * 4 > PAGE_SIZE {
+                        return Err(corrupt(format!("leaf claims {n} entries")));
+                    }
                     let next_raw = p.get_u64(3);
                     let next = if next_raw == u64::MAX { None } else { Some(PageId(next_raw)) };
                     let mut off = 11usize;
                     let mut entries = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        let klen = p.get_u16(off) as usize;
-                        let vlen = p.get_u16(off + 2) as usize;
+                    for i in 0..n {
+                        let klen = p
+                            .try_get_u16(off)
+                            .ok_or_else(|| corrupt(format!("leaf entry {i} header truncated")))?
+                            as usize;
+                        let vlen = p
+                            .try_get_u16(off + 2)
+                            .ok_or_else(|| corrupt(format!("leaf entry {i} header truncated")))?
+                            as usize;
                         off += 4;
-                        let k = p.slice(off, klen).to_vec();
+                        let k = p
+                            .try_slice(off, klen)
+                            .ok_or_else(|| corrupt(format!("leaf entry {i} key leaves the page")))?
+                            .to_vec();
                         off += klen;
-                        let v = p.slice(off, vlen).to_vec();
+                        let v = p
+                            .try_slice(off, vlen)
+                            .ok_or_else(|| {
+                                corrupt(format!("leaf entry {i} value leaves the page"))
+                            })?
+                            .to_vec();
                         off += vlen;
                         entries.push((k, v));
                     }
@@ -253,6 +292,10 @@ impl BTree {
                 }
                 INTERNAL_TAG => {
                     let n = p.get_u16(1) as usize;
+                    // n keys (2-byte headers) plus n+1 children must fit.
+                    if 3 + (n + 1) * 8 + n * 2 > PAGE_SIZE {
+                        return Err(corrupt(format!("internal node claims {n} keys")));
+                    }
                     let mut off = 3usize;
                     let mut children = Vec::with_capacity(n + 1);
                     for _ in 0..=n {
@@ -260,17 +303,26 @@ impl BTree {
                         off += 8;
                     }
                     let mut keys = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        let klen = p.get_u16(off) as usize;
+                    for i in 0..n {
+                        let klen = p
+                            .try_get_u16(off)
+                            .ok_or_else(|| corrupt(format!("separator {i} header truncated")))?
+                            as usize;
                         off += 2;
-                        keys.push(p.slice(off, klen).to_vec());
+                        keys.push(
+                            p.try_slice(off, klen)
+                                .ok_or_else(|| {
+                                    corrupt(format!("separator {i} leaves the page"))
+                                })?
+                                .to_vec(),
+                        );
                         off += klen;
                     }
                     Ok(Node::Internal { keys, children })
                 }
                 // A freshly allocated zero page reads as an empty leaf.
                 0 => Ok(Node::Leaf { entries: Vec::new(), next: None }),
-                tag => Err(StorageError::Corrupt(format!("unknown node tag {tag}"))),
+                tag => Err(corrupt(format!("unknown node tag {tag}"))),
             }
         })?
     }
@@ -320,6 +372,7 @@ pub struct BTreeIter<'a> {
     entries: Vec<(Vec<u8>, Vec<u8>)>,
     pos: usize,
     next: Option<PageId>,
+    budget: u64,
     error: Option<StorageError>,
 }
 
@@ -337,20 +390,35 @@ impl Iterator for BTreeIter<'_> {
                 return Some(Ok(item));
             }
             let next = self.next?;
+            if self.budget == 0 {
+                self.next = None;
+                return Some(Err(StorageError::corrupt_at(next.0, "leaf chain has a cycle")));
+            }
+            self.budget -= 1;
             match self.tree.read_node(next) {
                 Ok(Node::Leaf { entries, next }) => {
                     self.entries = entries;
                     self.pos = 0;
                     self.next = next;
                 }
-                Ok(_) => return Some(Err(StorageError::Corrupt("leaf chain hit internal".into()))),
-                Err(e) => return Some(Err(e)),
+                Ok(_) => {
+                    self.next = None;
+                    return Some(Err(StorageError::corrupt_at(
+                        next.0,
+                        "leaf chain points at an internal node",
+                    )));
+                }
+                Err(e) => {
+                    self.next = None;
+                    return Some(Err(e));
+                }
             }
         }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pager::MemPager;

@@ -64,6 +64,13 @@ impl BufferPool {
         self.pager.allocate()
     }
 
+    /// Pages allocated in the underlying pager. Chain walks (leaf chains,
+    /// overflow chains) use this to bound their step count: a well-formed
+    /// chain can never be longer than the store itself.
+    pub fn page_count(&self) -> u64 {
+        self.pager.page_count()
+    }
+
     /// Run `f` with read access to page `id`.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
         let mut inner = self.inner.lock();
@@ -137,6 +144,7 @@ impl BufferPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pager::MemPager;

@@ -1,0 +1,55 @@
+//! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used for per-page
+//! checksums in the on-disk format. Table-driven, no dependencies.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `data` (standard IEEE: init all-ones, final xor all-ones).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data: Vec<u8> = (0..4096).map(|i| (i * 7 % 251) as u8).collect();
+        let base = crc32(&data);
+        for pos in [0usize, 1, 100, 2048, 4095] {
+            for bit in 0..8 {
+                let mut m = data.clone();
+                m[pos] ^= 1 << bit;
+                assert_ne!(crc32(&m), base, "flip at byte {pos} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -11,8 +11,27 @@ pub enum StorageError {
     PageOutOfRange { page: u64, count: u64 },
     /// A record or key/value pair larger than a page can hold.
     RecordTooLarge { size: usize, max: usize },
-    /// Structural corruption detected while reading.
-    Corrupt(String),
+    /// A page's stored CRC32 does not match its payload: the page was
+    /// corrupted at rest or torn during a write.
+    ChecksumMismatch { page: u64 },
+    /// The store file's header is invalid (bad magic, unsupported version,
+    /// mismatched page size, or a length inconsistent with the page count).
+    BadHeader { detail: String },
+    /// Structural corruption detected while reading, with the page it was
+    /// found on when known.
+    Corrupt { page: Option<u64>, detail: String },
+}
+
+impl StorageError {
+    /// Corruption not attributable to a specific page.
+    pub fn corrupt(detail: impl Into<String>) -> Self {
+        StorageError::Corrupt { page: None, detail: detail.into() }
+    }
+
+    /// Corruption detected on a specific page.
+    pub fn corrupt_at(page: u64, detail: impl Into<String>) -> Self {
+        StorageError::Corrupt { page: Some(page), detail: detail.into() }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -25,7 +44,16 @@ impl fmt::Display for StorageError {
             StorageError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds max {max}")
             }
-            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::ChecksumMismatch { page } => {
+                write!(f, "checksum mismatch on page {page}")
+            }
+            StorageError::BadHeader { detail } => write!(f, "invalid store header: {detail}"),
+            StorageError::Corrupt { page: Some(p), detail } => {
+                write!(f, "corrupt storage on page {p}: {detail}")
+            }
+            StorageError::Corrupt { page: None, detail } => {
+                write!(f, "corrupt storage: {detail}")
+            }
         }
     }
 }

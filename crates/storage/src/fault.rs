@@ -1,0 +1,210 @@
+//! Fault-injection pager for corruption and crash testing.
+//!
+//! [`FaultPager`] wraps any [`Pager`] and injects failures at configurable
+//! operation counts: hard I/O errors on the n-th read/write/allocate, a
+//! *torn write* that persists only a prefix of the page while reporting
+//! success (a lying disk), and a *bit flip* applied to the payload of the
+//! n-th read (silent at-rest corruption). Tests use it to drive every
+//! failure path in the buffer pool, B+tree, heap, and repository loader
+//! and assert that each surfaces a typed error instead of panicking.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::pager::Pager;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which operations fail, and when. Counters are zero-based: with
+/// `fail_read_at = Some(3)` the fourth `read_page` call errors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Fail the n-th `read_page` with an injected I/O error.
+    pub fail_read_at: Option<u64>,
+    /// Fail the n-th `write_page` with an injected I/O error.
+    pub fail_write_at: Option<u64>,
+    /// On the n-th `write_page`, persist only the first `k` payload bytes
+    /// (the rest of the page keeps its previous content) and report
+    /// success — a torn write.
+    pub torn_write_at: Option<(u64, usize)>,
+    /// Flip the given payload bit (0..PAGE_SIZE*8) in the result of the
+    /// n-th `read_page` — silent corruption the caller must detect.
+    pub flip_read_bit: Option<(u64, usize)>,
+    /// Fail the n-th `allocate` with an injected I/O error.
+    pub fail_allocate_at: Option<u64>,
+    /// Fail every `sync`.
+    pub fail_sync: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+fn injected(op: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!("injected {op} fault")))
+}
+
+/// A [`Pager`] wrapper that injects faults per a [`FaultPlan`].
+pub struct FaultPager<P> {
+    inner: P,
+    plan: FaultPlan,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl<P: Pager> FaultPager<P> {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: P, plan: FaultPlan) -> Self {
+        FaultPager {
+            inner,
+            plan,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Operations seen so far: (reads, writes, allocates). Run a workload
+    /// once with `FaultPlan::none()` to size a failure-point sweep.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+            self.allocs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The wrapped pager.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Pager> Pager for FaultPager<P> {
+    fn read_page(&self, id: PageId, out: &mut Page) -> Result<()> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.plan.fail_read_at == Some(n) {
+            return Err(injected("read"));
+        }
+        self.inner.read_page(id, out)?;
+        if let Some((at, bit)) = self.plan.flip_read_bit {
+            if at == n {
+                let bit = bit % (PAGE_SIZE * 8);
+                out.bytes_mut()[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        let n = self.writes.fetch_add(1, Ordering::Relaxed);
+        if self.plan.fail_write_at == Some(n) {
+            return Err(injected("write"));
+        }
+        if let Some((at, keep)) = self.plan.torn_write_at {
+            if at == n {
+                let keep = keep.min(PAGE_SIZE);
+                let mut torn = Page::new();
+                self.inner.read_page(id, &mut torn)?;
+                torn.bytes_mut()[..keep].copy_from_slice(&page.bytes()[..keep]);
+                return self.inner.write_page(id, &torn);
+            }
+        }
+        self.inner.write_page(id, page)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let n = self.allocs.fetch_add(1, Ordering::Relaxed);
+        if self.plan.fail_allocate_at == Some(n) {
+            return Err(injected("allocate"));
+        }
+        self.inner.allocate()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.plan.fail_sync {
+            return Err(injected("sync"));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    #[test]
+    fn passthrough_with_empty_plan() {
+        let pager = FaultPager::new(MemPager::new(), FaultPlan::none());
+        let id = pager.allocate().unwrap();
+        let mut p = Page::new();
+        p.put_u64(0, 99);
+        pager.write_page(id, &p).unwrap();
+        let mut out = Page::new();
+        pager.read_page(id, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 99);
+        pager.sync().unwrap();
+        assert_eq!(pager.op_counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn injects_read_write_alloc_sync_failures() {
+        let plan = FaultPlan {
+            fail_read_at: Some(1),
+            fail_write_at: Some(1),
+            fail_allocate_at: Some(2),
+            fail_sync: true,
+            ..FaultPlan::none()
+        };
+        let pager = FaultPager::new(MemPager::new(), plan);
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert!(matches!(pager.allocate(), Err(StorageError::Io(_))));
+        let p = Page::new();
+        pager.write_page(a, &p).unwrap();
+        assert!(matches!(pager.write_page(b, &p), Err(StorageError::Io(_))));
+        let mut out = Page::new();
+        pager.read_page(a, &mut out).unwrap();
+        assert!(matches!(pager.read_page(a, &mut out), Err(StorageError::Io(_))));
+        assert!(matches!(pager.sync(), Err(StorageError::Io(_))));
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let plan = FaultPlan { torn_write_at: Some((0, 16)), ..FaultPlan::none() };
+        let pager = FaultPager::new(MemPager::new(), plan);
+        let id = pager.allocate().unwrap();
+        let mut p = Page::new();
+        p.put_u64(0, 0x1111);
+        p.put_u64(64, 0x2222);
+        pager.write_page(id, &p).unwrap(); // reports success, tears the tail
+        let mut out = Page::new();
+        pager.read_page(id, &mut out).unwrap();
+        assert_eq!(out.get_u64(0), 0x1111, "prefix persisted");
+        assert_eq!(out.get_u64(64), 0, "tail kept old (zero) content");
+    }
+
+    #[test]
+    fn flips_one_bit_on_chosen_read() {
+        let plan = FaultPlan { flip_read_bit: Some((1, 8 * 40 + 3)), ..FaultPlan::none() };
+        let pager = FaultPager::new(MemPager::new(), plan);
+        let id = pager.allocate().unwrap();
+        let p = Page::new();
+        pager.write_page(id, &p).unwrap();
+        let mut out = Page::new();
+        pager.read_page(id, &mut out).unwrap();
+        assert!(out.bytes().iter().all(|&b| b == 0), "read 0 untouched");
+        pager.read_page(id, &mut out).unwrap();
+        assert_eq!(out.bytes()[40], 1 << 3, "read 1 corrupted");
+        pager.read_page(id, &mut out).unwrap();
+        assert!(out.bytes().iter().all(|&b| b == 0), "read 2 untouched");
+    }
+}

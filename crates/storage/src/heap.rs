@@ -28,6 +28,9 @@ pub struct RecordId {
 //      two u32s to keep the directory entry 12 bytes.
 const HEADER: usize = 12;
 const SLOT_ENTRY: usize = 12;
+/// Most slots a directory can hold without leaving the page; a stored count
+/// above this is corruption, not capacity.
+const MAX_SLOTS: usize = (PAGE_SIZE - HEADER) / SLOT_ENTRY;
 
 /// A record heap over a buffer pool.
 pub struct Heap {
@@ -51,11 +54,18 @@ impl Heap {
     /// Open an existing heap by its first page (walks to the tail).
     pub fn open(pool: Arc<BufferPool>, first: PageId) -> Result<Self> {
         let mut last = first;
+        // A well-formed chain visits each page at most once, so more steps
+        // than allocated pages means the next-pointers form a cycle.
+        let mut budget = pool.page_count();
         loop {
             let next = pool.with_page(last, |p| p.get_u64(4))?;
             if next == u64::MAX {
                 break;
             }
+            if budget == 0 {
+                return Err(StorageError::corrupt_at(last.0, "heap page chain has a cycle"));
+            }
+            budget -= 1;
             last = PageId(next);
         }
         Ok(Heap { pool, first, last })
@@ -83,11 +93,15 @@ impl Heap {
         // and the new data region do not collide.
         let fits = self.pool.with_page(self.last, |p| {
             let count = p.get_u16(0) as usize;
+            if count >= MAX_SLOTS {
+                return false;
+            }
             let dir_end = HEADER + (count + 1) * SLOT_ENTRY;
             let data_top = (0..count)
                 .map(|s| p.get_u16(HEADER + s * SLOT_ENTRY) as usize)
                 .min()
-                .unwrap_or(PAGE_SIZE);
+                .unwrap_or(PAGE_SIZE)
+                .min(PAGE_SIZE);
             dir_end + inline.len() <= data_top
         })?;
         let page = if fits {
@@ -109,7 +123,8 @@ impl Heap {
             let data_top = (0..count as usize)
                 .map(|s| p.get_u16(HEADER + s * SLOT_ENTRY) as usize)
                 .min()
-                .unwrap_or(PAGE_SIZE);
+                .unwrap_or(PAGE_SIZE)
+                .min(PAGE_SIZE);
             let off = data_top - inline.len();
             p.write_at(off, inline);
             let e = HEADER + count as usize * SLOT_ENTRY;
@@ -129,17 +144,29 @@ impl Heap {
         let (mut data, overflow) = self.pool.with_page(id.page, |p| {
             let count = p.get_u16(0);
             if id.slot >= count {
-                return Err(StorageError::Corrupt(format!(
-                    "slot {} out of range ({} slots)",
-                    id.slot, count
-                )));
+                return Err(StorageError::corrupt_at(
+                    id.page.0,
+                    format!("slot {} out of range ({} slots)", id.slot, count),
+                ));
+            }
+            if id.slot as usize >= MAX_SLOTS {
+                return Err(StorageError::corrupt_at(
+                    id.page.0,
+                    format!("slot {} beyond directory capacity {MAX_SLOTS}", id.slot),
+                ));
             }
             let e = HEADER + id.slot as usize * SLOT_ENTRY;
             let off = p.get_u16(e) as usize;
             let len = p.get_u16(e + 2) as usize;
             let ov = (p.get_u32(e + 4) as u64) | ((p.get_u32(e + 8) as u64) << 32);
             let overflow = if ov == u64::MAX { None } else { Some(PageId(ov)) };
-            Ok((p.slice(off, len).to_vec(), overflow))
+            let bytes = p.try_slice(off, len).ok_or_else(|| {
+                StorageError::corrupt_at(
+                    id.page.0,
+                    format!("record slot {} spans [{off}, +{len}) beyond the page", id.slot),
+                )
+            })?;
+            Ok((bytes.to_vec(), overflow))
         })??;
         if let Some(ov) = overflow {
             self.read_overflow(ov, &mut data)?;
@@ -149,7 +176,7 @@ impl Heap {
 
     /// Iterate all records in append order.
     pub fn scan(&self) -> HeapScan<'_> {
-        HeapScan { heap: self, page: Some(self.first), slot: 0 }
+        HeapScan { heap: self, page: Some(self.first), slot: 0, budget: self.pool.page_count() }
     }
 
     fn write_overflow(&mut self, mut data: &[u8]) -> Result<PageId> {
@@ -179,15 +206,26 @@ impl Heap {
 
     fn read_overflow(&self, mut page: PageId, out: &mut Vec<u8>) -> Result<()> {
         const OV_HEADER: usize = 10;
+        let mut budget = self.pool.page_count();
         loop {
-            let next = self.pool.with_page(page, |p| {
+            let next = self.pool.with_page(page, |p| -> Result<u64> {
                 let len = p.get_u16(0) as usize;
-                out.extend_from_slice(p.slice(OV_HEADER, len));
-                p.get_u64(2)
-            })?;
+                let chunk = p.try_slice(OV_HEADER, len).ok_or_else(|| {
+                    StorageError::corrupt_at(
+                        page.0,
+                        format!("overflow chunk of {len} bytes leaves the page"),
+                    )
+                })?;
+                out.extend_from_slice(chunk);
+                Ok(p.get_u64(2))
+            })??;
             if next == u64::MAX {
                 return Ok(());
             }
+            if budget == 0 {
+                return Err(StorageError::corrupt_at(page.0, "overflow chain has a cycle"));
+            }
+            budget -= 1;
             page = PageId(next);
         }
     }
@@ -198,6 +236,7 @@ pub struct HeapScan<'a> {
     heap: &'a Heap,
     page: Option<PageId>,
     slot: u16,
+    budget: u64,
 }
 
 impl Iterator for HeapScan<'_> {
@@ -224,6 +263,14 @@ impl Iterator for HeapScan<'_> {
                     return None;
                 }
                 Ok(next) => {
+                    if self.budget == 0 {
+                        self.page = None;
+                        return Some(Err(StorageError::corrupt_at(
+                            page.0,
+                            "heap page chain has a cycle",
+                        )));
+                    }
+                    self.budget -= 1;
                     self.page = Some(PageId(next));
                     self.slot = 0;
                 }
@@ -237,6 +284,7 @@ impl Iterator for HeapScan<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pager::MemPager;

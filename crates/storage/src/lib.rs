@@ -14,7 +14,9 @@
 
 pub mod btree;
 pub mod buffer;
+pub mod checksum;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pager;
@@ -22,6 +24,7 @@ pub mod pager;
 pub use btree::BTree;
 pub use buffer::{BufferPool, PoolStats};
 pub use error::{Result, StorageError};
+pub use fault::{FaultPager, FaultPlan};
 pub use heap::{Heap, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use pager::{FilePager, MemPager, Pager};
+pub use pager::{FilePager, MemPager, Pager, FILE_HEADER, FORMAT_VERSION, FRAME_HEADER, FRAME_SIZE};

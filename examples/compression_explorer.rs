@@ -48,7 +48,7 @@ fn main() {
         return;
     };
     let container = repo.container(cid);
-    let values = container.decompress_all();
+    let values = container.decompress_all().expect("freshly loaded container decodes");
     let plain: usize = values.iter().map(|v| v.len()).sum();
     println!(
         "\nlargest text container: {} ({} values, {} bytes)",

@@ -34,7 +34,7 @@ fn blz_roundtrip() {
     let mut rng = StdRng::seed_from_u64(0xB12);
     for case in 0..64 {
         let data = bytes(&mut rng, 4096);
-        assert_eq!(blz::decompress(&blz::compress(&data)), data, "case {case}");
+        assert_eq!(blz::decompress(&blz::compress(&data)).unwrap(), data, "case {case}");
     }
 }
 
@@ -58,9 +58,9 @@ fn huffman_roundtrip_and_eq() {
         let probe = bytes(&mut rng, 64);
         let h = Huffman::train(corpus.iter().map(|v| v.as_slice()));
         for v in &corpus {
-            assert_eq!(h.decompress(&h.compress(v)), v.clone(), "case {case}");
+            assert_eq!(h.decompress(&h.compress(v)).unwrap(), v.clone(), "case {case}");
         }
-        assert_eq!(h.decompress(&h.compress(&probe)), probe, "case {case}");
+        assert_eq!(h.decompress(&h.compress(&probe)).unwrap(), probe, "case {case}");
         assert_eq!(h.compress(&probe), h.compress(&probe.clone()), "case {case}");
     }
 }
@@ -93,9 +93,9 @@ fn arith_roundtrip() {
         let probe = bytes(&mut rng, 64);
         let a = Arith::train(corpus.iter().map(|v| v.as_slice()));
         for v in &corpus {
-            assert_eq!(a.decompress(&a.compress(v)), v.clone(), "case {case}");
+            assert_eq!(a.decompress(&a.compress(v)).unwrap(), v.clone(), "case {case}");
         }
-        assert_eq!(a.decompress(&a.compress(&probe)), probe, "case {case}");
+        assert_eq!(a.decompress(&a.compress(&probe)).unwrap(), probe, "case {case}");
         assert_eq!(a.compress(&probe), a.compress(&probe.clone()), "case {case}");
     }
 }
@@ -113,10 +113,10 @@ fn hutucker_order() {
         sorted.dedup();
         let comp: Vec<Vec<u8>> = sorted.iter().map(|v| h.compress(v)).collect();
         for w in comp.windows(2) {
-            assert_eq!(h.cmp_compressed(&w[0], &w[1]), std::cmp::Ordering::Less, "case {case}");
+            assert_eq!(h.cmp_compressed(&w[0], &w[1]).unwrap(), std::cmp::Ordering::Less, "case {case}");
         }
         for (v, c) in sorted.iter().zip(&comp) {
-            assert_eq!(&h.decompress(c), v, "case {case}");
+            assert_eq!(&h.decompress(c).unwrap(), v, "case {case}");
         }
     }
 }
@@ -154,7 +154,7 @@ fn alm_order_preserving() {
             );
         }
         for (v, c) in sorted.iter().zip(&comp) {
-            assert_eq!(alm.decompress(c), v.as_bytes(), "case {case}");
+            assert_eq!(alm.decompress(c).unwrap(), v.as_bytes(), "case {case}");
         }
     }
 }
@@ -169,7 +169,7 @@ fn numeric_order() {
         let ea = numeric::encode_i128(a as i128);
         let eb = numeric::encode_i128(b as i128);
         assert_eq!(ea.cmp(&eb), a.cmp(&b), "case {case}");
-        assert_eq!(numeric::decode_i128(&ea), a as i128, "case {case}");
+        assert_eq!(numeric::decode_i128(&ea).unwrap(), a as i128, "case {case}");
     }
 }
 
@@ -185,7 +185,7 @@ fn numeric_codec_roundtrip() {
             .expect("canonical integers detect");
         for t in &texts {
             let c = codec.compress(t.as_bytes()).expect("encodes");
-            assert_eq!(codec.decompress(&c), t.as_bytes(), "case {case}");
+            assert_eq!(codec.decompress(&c).unwrap(), t.as_bytes(), "case {case}");
         }
     }
 }
@@ -333,7 +333,7 @@ fn repository_values_roundtrip() {
         }
         let mut stored: Vec<String> = Vec::new();
         for c in &repo.containers {
-            stored.extend(c.decompress_all());
+            stored.extend(c.decompress_all().unwrap());
         }
         original.sort();
         stored.sort();
