@@ -13,6 +13,15 @@
 //! surfaces as a typed [`PersistError`] — never a panic. [`save_to_pager`]
 //! and [`load_from_pager`] expose the pager seam so tests can drive the
 //! whole path through an in-memory or fault-injecting pager.
+//!
+//! [`save`] is crash-atomic: the new image is staged into a sidecar journal
+//! (`<path>.wal`), committed with a checksummed record, and only then
+//! applied to the main file (see [`xquec_storage::wal`]). A crash or I/O
+//! failure at any write/sync boundary leaves the store recoverable to
+//! exactly the pre-save or post-save bytes; [`load`] (via
+//! `FilePager::open`) runs that recovery automatically.
+
+#![deny(clippy::unwrap_used)]
 
 use crate::container::{Container, ContainerError, ContainerLeaf, ValueType};
 use crate::dictionary::NameDictionary;
@@ -25,7 +34,8 @@ use std::path::Path;
 use std::sync::Arc;
 use xquec_compress::bitio::{read_varint, write_varint};
 use xquec_compress::ValueCodec;
-use xquec_storage::{BTree, BufferPool, FilePager, Heap, PageId, Pager, StorageError};
+use xquec_storage::wal::{self, PagerWrap};
+use xquec_storage::{BTree, BufferPool, FilePager, Heap, Journal, PageId, Pager, StorageError};
 
 /// Catalog magic; the trailing version digit pairs with the storage-layer
 /// format version (checksummed pages arrived with `XQUEC02`).
@@ -130,11 +140,45 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Save a repository to a single file.
+/// Save a repository to a single file, crash-atomically.
+///
+/// The image is staged into the sidecar journal `<path>.wal`, synced,
+/// committed with a checksummed record, synced again, and only then applied
+/// to `path` — so a crash at any point leaves the old or the new repository
+/// on disk (recovered by the next [`load`]), never a torn mix.
 pub fn save(repo: &Repository, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let _ = std::fs::remove_file(path.as_ref());
-    let pager = Arc::new(FilePager::open(path.as_ref())?);
-    save_to_pager(repo, pager)
+    save_with(repo, path.as_ref(), &|p| p)
+}
+
+/// [`save`], with every pager the commit protocol opens passed through
+/// `wrap` first. This is the fault-injection seam: the crash-recovery suite
+/// wraps both the journal and the main store in `FaultPager`s sharing one
+/// `CrashPoint` budget to sweep simulated power loss across every durable
+/// operation of the save.
+pub fn save_with(repo: &Repository, path: &Path, wrap: &PagerWrap) -> Result<(), PersistError> {
+    // First finish (or discard) whatever journal a previously crashed save
+    // left behind, so its sidecar path can be reused. A committed journal
+    // is applied — its save happened — and an uncommitted one is dropped.
+    wal::recover_with(path, wrap)?;
+    let wp = wal::wal_path(path);
+
+    // Stage the complete new image into the journal. The main store is not
+    // touched by anything below until the commit record is durable.
+    let wal_pager = wrap(Arc::new(FilePager::create(&wp)?));
+    let journal = Journal::begin(wal_pager.clone())?;
+    save_to_pager(repo, journal.staging())?;
+    let rec = journal.commit()?;
+    wal::sync_parent_dir(path);
+
+    // Commit point passed: truncate the main file and redo from the
+    // journal. A crash from here on replays the same apply on recovery.
+    let main = wrap(Arc::new(FilePager::create(path)?));
+    wal::apply(&*wal_pager, &rec, &*main)?;
+    drop(main);
+    drop(wal_pager);
+    std::fs::remove_file(&wp).map_err(StorageError::from)?;
+    wal::sync_parent_dir(path);
+    Ok(())
 }
 
 /// Save a repository through an arbitrary pager (the file-format writer;
@@ -607,6 +651,7 @@ pub fn load_from_pager(pager: Arc<dyn Pager>) -> Result<Repository, PersistError
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::loader::{load_with, LoaderOptions, WorkloadSpec};

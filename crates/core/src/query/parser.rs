@@ -26,10 +26,19 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Maximum expression nesting depth. Each level of the recursive-descent
+/// grammar costs a dozen stack frames (one full precedence chain), so the
+/// cap is what turns a pathologically nested query (10k parentheses, unary
+/// minuses, nested constructors…) into a [`ParseError`] instead of a stack
+/// overflow. 64 levels is far beyond any real query while keeping
+/// worst-case stack use inside even a 2 MiB (default test-thread) stack in
+/// unoptimised builds.
+pub const MAX_EXPR_DEPTH: usize = 64;
+
 /// Parse a query string.
 pub fn parse(src: &str) -> Result<Expr, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let expr = p.expr()?;
     p.expect_eof()?;
     Ok(expr)
@@ -38,6 +47,7 @@ pub fn parse(src: &str) -> Result<Expr, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -117,6 +127,20 @@ impl Parser {
         }
     }
 
+    /// Count one level of grammar recursion; errors past [`MAX_EXPR_DEPTH`].
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.err(format!("expression nesting exceeds {MAX_EXPR_DEPTH} levels"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     // ---- expression grammar -------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -133,12 +157,18 @@ impl Parser {
     }
 
     fn single_expr(&mut self) -> Result<Expr, ParseError> {
-        match self.peek() {
+        // Every grammar cycle (parenthesised expressions, FLWOR bodies,
+        // step predicates, function arguments) passes through here, so one
+        // depth check bounds them all.
+        self.enter()?;
+        let out = match self.peek() {
             TokenKind::Keyword(k) if k == "for" || k == "let" => self.flwor(),
             TokenKind::Keyword(k) if k == "if" => self.if_expr(),
             TokenKind::Keyword(k) if k == "some" || k == "every" => self.some_expr(),
             _ => self.or_expr(),
-        }
+        };
+        self.leave();
+        out
     }
 
     fn flwor(&mut self) -> Result<Expr, ParseError> {
@@ -287,8 +317,12 @@ impl Parser {
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_punct("-") {
-            let inner = self.unary_expr()?;
-            Ok(Expr::Neg(Box::new(inner)))
+            // Self-recursion that bypasses single_expr: count it too, or a
+            // run of 10k `-` signs would still blow the stack.
+            self.enter()?;
+            let inner = self.unary_expr();
+            self.leave();
+            Ok(Expr::Neg(Box::new(inner?)))
         } else {
             self.postfix_expr()
         }
@@ -477,6 +511,15 @@ impl Parser {
     // ---- element constructors -------------------------------------------
 
     fn constructor(&mut self) -> Result<Expr, ParseError> {
+        // Nested constructors recurse directly (child `<` → constructor)
+        // without passing through single_expr; bound them here.
+        self.enter()?;
+        let out = self.constructor_inner();
+        self.leave();
+        out
+    }
+
+    fn constructor_inner(&mut self) -> Result<Expr, ParseError> {
         self.expect_punct("<")?;
         let tag = match self.bump() {
             TokenKind::Name(n) => n,
@@ -677,6 +720,34 @@ mod tests {
         assert!(parse("<a><b></a></b>").is_err());
         assert!(parse("$x/").is_err());
         assert!(parse("(1").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // 10k-deep variants of every direct-recursion path in the grammar:
+        // parenthesised expressions, unary minus chains, nested step
+        // predicates, and nested element constructors. Each must come back
+        // as a ParseError naming the depth limit.
+        let deep_parens = format!("{}1{}", "(".repeat(10_000), ")".repeat(10_000));
+        let deep_minus = format!("{}1", "-".repeat(10_000));
+        let deep_preds = format!("$x{}{}", "/a[b".repeat(10_000), "]".repeat(10_000));
+        let deep_ctors = format!("{}{}", "<a>".repeat(10_000), "</a>".repeat(10_000));
+        for src in [&deep_parens, &deep_minus, &deep_preds, &deep_ctors] {
+            let err = parse(src).expect_err("pathological nesting must not parse");
+            assert!(
+                err.message.contains("nesting exceeds"),
+                "wrong error for deep input: {}",
+                err.message
+            );
+        }
+
+        // Unbalanced deep input (no closers at all) is just as guarded.
+        assert!(parse(&"(".repeat(10_000)).is_err());
+
+        // Nesting below the cap still parses: the guard must not reject
+        // real queries.
+        let ok = format!("{}1{}", "(".repeat(MAX_EXPR_DEPTH - 2), ")".repeat(MAX_EXPR_DEPTH - 2));
+        parse(&ok).expect("nesting below the cap parses");
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //! point in save and load — plus torn writes and silent read corruption —
 //! must surface as a typed error (or survive), never a panic.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use xquec_core::persist::{self, PersistError};
 use xquec_core::query::Engine;
 use xquec_core::repo::Repository;
 use xquec_core::{load_with, LoaderOptions};
-use xquec_storage::{FaultPager, FaultPlan, MemPager};
+use xquec_storage::{wal, FaultPager, FaultPlan, MemPager, Pager, StorageError};
 
 fn build_repo() -> Repository {
     let xml = xquec_xml::gen::Dataset::Xmark.generate(10_000);
@@ -66,6 +66,48 @@ fn every_write_failure_during_save_is_a_typed_error() {
     let plan = FaultPlan { fail_sync: true, ..FaultPlan::none() };
     let faulty = Arc::new(FaultPager::new(MemPager::new(), plan));
     assert!(matches!(persist::save_to_pager(&repo, faulty), Err(PersistError::Storage(_))));
+}
+
+#[test]
+fn failed_sync_during_save_rolls_back_and_poisons() {
+    let old = build_repo();
+    let new_xml = xquec_xml::gen::Dataset::Xmark.generate(14_000);
+    let new = load_with(&new_xml, &LoaderOptions::default()).expect("new document loads");
+
+    let dir = std::env::temp_dir().join(format!("xquec-fault-sync-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("repo.xqc");
+    persist::save(&old, &path).expect("clean save of old");
+    let old_bytes = std::fs::read(&path).expect("read old image");
+
+    // Every sync the protocol issues fails; keep a handle on each wrapped
+    // pager so the poisoning contract can be checked afterwards.
+    let captured: Arc<Mutex<Vec<Arc<FaultPager<Arc<dyn Pager>>>>>> = Arc::default();
+    let sink = captured.clone();
+    let wrap = move |inner: Arc<dyn Pager>| -> Arc<dyn Pager> {
+        let plan = FaultPlan { fail_sync: true, ..FaultPlan::none() };
+        let fp = Arc::new(FaultPager::new(inner, plan));
+        sink.lock().expect("capture lock").push(fp.clone());
+        fp
+    };
+    let res = persist::save_with(&new, &path, &wrap);
+    assert!(matches!(res, Err(PersistError::Storage(_))), "failed sync must abort the save");
+
+    // The pager whose sync failed is poisoned: its durable state is
+    // unknown, so it refuses everything rather than keep writing.
+    let pagers = captured.lock().expect("capture lock");
+    let poisoned = pagers.iter().find(|p| p.is_poisoned()).expect("a pager saw the failed sync");
+    assert!(matches!(poisoned.sync(), Err(StorageError::Poisoned)));
+    assert!(matches!(poisoned.allocate(), Err(StorageError::Poisoned)));
+
+    // Rollback: the sync failed while staging the journal, so the main
+    // store was never touched and the old image is still byte-intact.
+    assert_eq!(std::fs::read(&path).expect("reread"), old_bytes, "main image was disturbed");
+    let revived = persist::load(&path).expect("old repository reopens");
+    assert_eq!(revived.tree.len(), old.tree.len());
+    assert!(!wal::wal_path(&path).exists(), "reopen must discard the dead journal");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

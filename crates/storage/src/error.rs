@@ -20,6 +20,12 @@ pub enum StorageError {
     /// Structural corruption detected while reading, with the page it was
     /// found on when known.
     Corrupt { page: Option<u64>, detail: String },
+    /// An earlier `sync` failed, so the durable state of the store is
+    /// unknown; the pager refuses further writes until reopened. Continuing
+    /// to write after a failed fsync can silently mix durable and
+    /// non-durable pages, which is exactly the torn state checksums cannot
+    /// repair.
+    Poisoned,
 }
 
 impl StorageError {
@@ -53,6 +59,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::Corrupt { page: None, detail } => {
                 write!(f, "corrupt storage: {detail}")
+            }
+            StorageError::Poisoned => {
+                write!(f, "store poisoned by an earlier sync failure; reopen to continue")
             }
         }
     }

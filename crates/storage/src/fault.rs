@@ -7,15 +7,69 @@
 //! n-th read (silent at-rest corruption). Tests use it to drive every
 //! failure path in the buffer pool, B+tree, heap, and repository loader
 //! and assert that each surfaces a typed error instead of panicking.
+//!
+//! For crash-atomicity testing there is additionally a [`CrashPoint`]: a
+//! shared budget of *durable* operations (`write_page`, `allocate`,
+//! `sync`) after which the pager behaves like a dead process — every
+//! operation, reads included, fails from then on. Because the budget is
+//! an `Arc`, one crash point can be threaded through several pagers (the
+//! journal and the main store of an atomic save) so the k-th durable op
+//! *across the whole protocol* is where the simulated power loss lands.
+//! Sweeping k from 0 to the op total visits every crash point of a save.
+//!
+//! A failed `sync` — injected or real — *poisons* the wrapper exactly
+//! like [`crate::FilePager`]: subsequent writes, allocates, and syncs
+//! return [`StorageError::Poisoned`], so tests exercise the same
+//! refuse-after-failed-fsync contract the file pager enforces.
 
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::pager::Pager;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared budget of durable operations, modelling "the process dies
+/// after the k-th write/allocate/sync". Clones share the same budget.
+#[derive(Debug, Clone)]
+pub struct CrashPoint {
+    budget: Arc<AtomicI64>,
+    initial: i64,
+}
+
+impl CrashPoint {
+    /// Crash after `k` durable operations succeed: ops `0..k` go through,
+    /// op `k` and everything after it (reads included) fail.
+    pub fn after(k: u64) -> Self {
+        let k = i64::try_from(k).unwrap_or(i64::MAX);
+        CrashPoint { budget: Arc::new(AtomicI64::new(k)), initial: k }
+    }
+
+    /// A crash point that never trips — for probe runs that count the
+    /// durable ops of a workload to size a sweep.
+    pub fn unlimited() -> Self {
+        CrashPoint { budget: Arc::new(AtomicI64::new(i64::MAX)), initial: i64::MAX }
+    }
+
+    /// Whether the budget has run out (the simulated process is "dead").
+    pub fn tripped(&self) -> bool {
+        self.budget.load(Ordering::Relaxed) <= 0
+    }
+
+    /// Durable operations admitted so far (caps at the initial budget).
+    pub fn ops_used(&self) -> u64 {
+        let left = self.budget.load(Ordering::Relaxed).max(0);
+        (self.initial - left).max(0) as u64
+    }
+
+    /// Spend one unit; `false` once the budget is exhausted.
+    fn consume(&self) -> bool {
+        self.budget.fetch_sub(1, Ordering::Relaxed) > 0
+    }
+}
 
 /// Which operations fail, and when. Counters are zero-based: with
 /// `fail_read_at = Some(3)` the fourth `read_page` call errors.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Fail the n-th `read_page` with an injected I/O error.
     pub fail_read_at: Option<u64>,
@@ -32,6 +86,9 @@ pub struct FaultPlan {
     pub fail_allocate_at: Option<u64>,
     /// Fail every `sync`.
     pub fail_sync: bool,
+    /// Kill the pager after this many durable ops (see [`CrashPoint`]).
+    /// Composes with the per-op faults above: the crash check runs first.
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -39,10 +96,19 @@ impl FaultPlan {
     pub fn none() -> Self {
         Self::default()
     }
+
+    /// A plan whose only fault is the given crash point.
+    pub fn crash_at(point: CrashPoint) -> Self {
+        FaultPlan { crash: Some(point), ..Self::none() }
+    }
 }
 
 fn injected(op: &str) -> StorageError {
     StorageError::Io(std::io::Error::other(format!("injected {op} fault")))
+}
+
+fn crashed(op: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!("simulated crash before {op}")))
 }
 
 /// A [`Pager`] wrapper that injects faults per a [`FaultPlan`].
@@ -52,6 +118,8 @@ pub struct FaultPager<P> {
     reads: AtomicU64,
     writes: AtomicU64,
     allocs: AtomicU64,
+    syncs: AtomicU64,
+    poisoned: AtomicBool,
 }
 
 impl<P: Pager> FaultPager<P> {
@@ -63,6 +131,8 @@ impl<P: Pager> FaultPager<P> {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             allocs: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -76,14 +146,44 @@ impl<P: Pager> FaultPager<P> {
         )
     }
 
+    /// `sync` calls seen so far.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Whether a failed `sync` has poisoned this wrapper.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// The wrapped pager.
     pub fn into_inner(self) -> P {
         self.inner
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(StorageError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Spend one unit of the crash budget ahead of a durable op.
+    fn spend_crash_budget(&self, op: &'static str) -> Result<()> {
+        match &self.plan.crash {
+            Some(cp) if !cp.consume() => Err(crashed(op)),
+            _ => Ok(()),
+        }
     }
 }
 
 impl<P: Pager> Pager for FaultPager<P> {
     fn read_page(&self, id: PageId, out: &mut Page) -> Result<()> {
+        // Reads don't consume crash budget, but a dead process can't read.
+        if self.plan.crash.as_ref().is_some_and(CrashPoint::tripped) {
+            return Err(crashed("read"));
+        }
         let n = self.reads.fetch_add(1, Ordering::Relaxed);
         if self.plan.fail_read_at == Some(n) {
             return Err(injected("read"));
@@ -99,6 +199,8 @@ impl<P: Pager> Pager for FaultPager<P> {
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        self.check_poisoned()?;
+        self.spend_crash_budget("write")?;
         let n = self.writes.fetch_add(1, Ordering::Relaxed);
         if self.plan.fail_write_at == Some(n) {
             return Err(injected("write"));
@@ -116,6 +218,8 @@ impl<P: Pager> Pager for FaultPager<P> {
     }
 
     fn allocate(&self) -> Result<PageId> {
+        self.check_poisoned()?;
+        self.spend_crash_budget("allocate")?;
         let n = self.allocs.fetch_add(1, Ordering::Relaxed);
         if self.plan.fail_allocate_at == Some(n) {
             return Err(injected("allocate"));
@@ -128,10 +232,16 @@ impl<P: Pager> Pager for FaultPager<P> {
     }
 
     fn sync(&self) -> Result<()> {
-        if self.plan.fail_sync {
-            return Err(injected("sync"));
+        self.check_poisoned()?;
+        self.spend_crash_budget("sync")?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        let res = if self.plan.fail_sync { Err(injected("sync")) } else { self.inner.sync() };
+        if res.is_err() {
+            // Same contract as FilePager: after a failed fsync the durable
+            // state is unknown, so refuse everything until reopened.
+            self.poisoned.store(true, Ordering::Release);
         }
-        self.inner.sync()
+        res
     }
 }
 
@@ -153,6 +263,7 @@ mod tests {
         assert_eq!(out.get_u64(0), 99);
         pager.sync().unwrap();
         assert_eq!(pager.op_counts(), (1, 1, 1));
+        assert_eq!(pager.sync_count(), 1);
     }
 
     #[test]
@@ -161,7 +272,6 @@ mod tests {
             fail_read_at: Some(1),
             fail_write_at: Some(1),
             fail_allocate_at: Some(2),
-            fail_sync: true,
             ..FaultPlan::none()
         };
         let pager = FaultPager::new(MemPager::new(), plan);
@@ -174,7 +284,24 @@ mod tests {
         let mut out = Page::new();
         pager.read_page(a, &mut out).unwrap();
         assert!(matches!(pager.read_page(a, &mut out), Err(StorageError::Io(_))));
+    }
+
+    #[test]
+    fn failed_sync_poisons_wrapper() {
+        let plan = FaultPlan { fail_sync: true, ..FaultPlan::none() };
+        let pager = FaultPager::new(MemPager::new(), plan);
+        let id = pager.allocate().unwrap();
         assert!(matches!(pager.sync(), Err(StorageError::Io(_))));
+        assert!(pager.is_poisoned());
+        // Everything durable now refuses with Poisoned, not a new fault.
+        let p = Page::new();
+        assert!(matches!(pager.write_page(id, &p), Err(StorageError::Poisoned)));
+        assert!(matches!(pager.allocate(), Err(StorageError::Poisoned)));
+        assert!(matches!(pager.sync(), Err(StorageError::Poisoned)));
+        // Reads still work: in-memory state is intact, only durability is
+        // unknown.
+        let mut out = Page::new();
+        pager.read_page(id, &mut out).unwrap();
     }
 
     #[test]
@@ -206,5 +333,47 @@ mod tests {
         assert_eq!(out.bytes()[40], 1 << 3, "read 1 corrupted");
         pager.read_page(id, &mut out).unwrap();
         assert!(out.bytes().iter().all(|&b| b == 0), "read 2 untouched");
+    }
+
+    #[test]
+    fn crash_point_kills_after_budget() {
+        let cp = CrashPoint::after(3);
+        let pager = FaultPager::new(MemPager::new(), FaultPlan::crash_at(cp.clone()));
+        let a = pager.allocate().unwrap(); // op 0
+        let b = pager.allocate().unwrap(); // op 1
+        let p = Page::new();
+        assert!(!cp.tripped());
+        pager.write_page(a, &p).unwrap(); // op 2: budget now spent
+        assert!(matches!(pager.write_page(b, &p), Err(StorageError::Io(_)))); // op 3: dead
+        assert!(cp.tripped());
+        assert_eq!(cp.ops_used(), 3);
+        // Dead process: reads fail too, and so does everything else.
+        let mut out = Page::new();
+        assert!(pager.read_page(a, &mut out).is_err());
+        assert!(pager.allocate().is_err());
+        assert!(pager.sync().is_err());
+    }
+
+    #[test]
+    fn crash_budget_is_shared_between_pagers() {
+        let cp = CrashPoint::after(2);
+        let first = FaultPager::new(MemPager::new(), FaultPlan::crash_at(cp.clone()));
+        let second = FaultPager::new(MemPager::new(), FaultPlan::crash_at(cp.clone()));
+        first.allocate().unwrap(); // op 0
+        second.allocate().unwrap(); // op 1
+        assert!(first.allocate().is_err(), "budget spent across both pagers");
+        assert!(second.allocate().is_err());
+        assert_eq!(cp.ops_used(), 2);
+    }
+
+    #[test]
+    fn unlimited_probe_counts_ops() {
+        let cp = CrashPoint::unlimited();
+        let pager = FaultPager::new(MemPager::new(), FaultPlan::crash_at(cp.clone()));
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, &Page::new()).unwrap();
+        pager.sync().unwrap();
+        assert!(!cp.tripped());
+        assert_eq!(cp.ops_used(), 3);
     }
 }

@@ -10,7 +10,10 @@
 //!   leaves (the paper's "B+ search tree on top of the sequence of node
 //!   records", §2.2);
 //! * [`heap`] — a slotted-page record heap with overflow chaining for the
-//!   container and node records themselves.
+//!   container and node records themselves;
+//! * [`wal`] — a journaled atomic-commit protocol (sidecar redo journal +
+//!   checksummed commit record + recovery-on-open) making full-store
+//!   rewrites crash-atomic.
 
 pub mod btree;
 pub mod buffer;
@@ -20,11 +23,13 @@ pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pager;
+pub mod wal;
 
 pub use btree::BTree;
 pub use buffer::{BufferPool, PoolStats};
 pub use error::{Result, StorageError};
-pub use fault::{FaultPager, FaultPlan};
+pub use fault::{CrashPoint, FaultPager, FaultPlan};
 pub use heap::{Heap, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager, FILE_HEADER, FORMAT_VERSION, FRAME_HEADER, FRAME_SIZE};
+pub use wal::{CommitRecord, Journal};

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A page-granular storage backend.
 pub trait Pager: Send + Sync {
@@ -150,22 +151,50 @@ fn encode_file_header(count: u64) -> [u8; FILE_HEADER as usize] {
 pub struct FilePager {
     file: Mutex<File>,
     count: Mutex<u64>,
+    /// Set when a `sync` fails: the durable state is unknown, so every
+    /// subsequent write/allocate/sync is refused with
+    /// [`StorageError::Poisoned`] until the file is reopened.
+    poisoned: AtomicBool,
 }
 
 impl FilePager {
-    /// Open or create the file at `path`.
-    ///
-    /// A fresh (empty) file is initialised with a version-2 header. An
-    /// existing file must carry a valid header — magic, version, page size,
-    /// header CRC, and a length consistent with the stored page count —
-    /// otherwise [`StorageError::BadHeader`] is returned.
+    /// Open or create the file at `path`, first completing any interrupted
+    /// journaled save (see [`crate::wal`]): if a committed journal
+    /// `<path>.wal` is found it is re-applied, and an uncommitted one is
+    /// discarded, so the store observed here is always exactly the pre-save
+    /// or post-save image — never a torn intermediate.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        crate::wal::recover(path.as_ref())?;
+        Self::open_raw(path)
+    }
+
+    /// Create (or truncate) the file at `path` as an empty store.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.write_all(&encode_file_header(0))?;
+        Ok(FilePager { file: Mutex::new(file), count: Mutex::new(0), poisoned: AtomicBool::new(false) })
+    }
+
+    /// Open the file at `path` without running journal recovery.
+    ///
+    /// This is the raw constructor [`FilePager::open`] wraps; the journal
+    /// machinery itself uses it to open `.wal` sidecar files. A fresh
+    /// (empty) file is initialised with a version-2 header. An existing
+    /// file must carry a valid header — magic, version, page size, header
+    /// CRC, and a length consistent with the stored page count — otherwise
+    /// [`StorageError::BadHeader`] is returned.
+    pub fn open_raw(path: impl AsRef<Path>) -> Result<Self> {
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len == 0 {
             file.write_all(&encode_file_header(0))?;
-            return Ok(FilePager { file: Mutex::new(file), count: Mutex::new(0) });
+            return Ok(FilePager {
+                file: Mutex::new(file),
+                count: Mutex::new(0),
+                poisoned: AtomicBool::new(false),
+            });
         }
         if len < FILE_HEADER {
             return Err(StorageError::BadHeader {
@@ -203,7 +232,19 @@ impl FilePager {
                 ),
             });
         }
-        Ok(FilePager { file: Mutex::new(file), count: Mutex::new(count) })
+        Ok(FilePager {
+            file: Mutex::new(file),
+            count: Mutex::new(count),
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(StorageError::Poisoned)
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -241,6 +282,7 @@ impl Pager for FilePager {
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        self.check_poisoned()?;
         let count = *self.count.lock();
         if id.0 >= count {
             return Err(StorageError::PageOutOfRange { page: id.0, count });
@@ -258,6 +300,7 @@ impl Pager for FilePager {
     }
 
     fn allocate(&self) -> Result<PageId> {
+        self.check_poisoned()?;
         let mut count = self.count.lock();
         let id = PageId(*count);
         let zero = Page::new();
@@ -283,7 +326,13 @@ impl Pager for FilePager {
     }
 
     fn sync(&self) -> Result<()> {
-        self.file.lock().sync_all()?;
+        self.check_poisoned()?;
+        if let Err(e) = self.file.lock().sync_all() {
+            // After a failed fsync the kernel may have dropped dirty pages;
+            // nothing written from here on has a knowable durable state.
+            self.poisoned.store(true, Ordering::Release);
+            return Err(e.into());
+        }
         Ok(())
     }
 }

@@ -2,6 +2,22 @@
 
 use std::fmt;
 
+/// What category of problem an [`XmlError`] reports. Syntax errors mean
+/// the document is malformed; the limit variants mean a well-formed-so-far
+/// document exceeded a configured input guard
+/// (see `reader::ReaderLimits`) and parsing was refused as a defense
+/// against pathological or adversarial input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// The document violates XML syntax or well-formedness.
+    Syntax,
+    /// Element nesting exceeded the configured maximum depth.
+    DepthLimitExceeded,
+    /// A single token (name, attribute value, text or CDATA run) exceeded
+    /// the configured maximum length.
+    TokenLimitExceeded,
+}
+
 /// An error raised while parsing an XML document.
 ///
 /// Carries the byte offset at which the problem was detected so callers can
@@ -12,11 +28,17 @@ pub struct XmlError {
     pub offset: usize,
     /// Human-readable description of the problem.
     pub message: String,
+    /// Category: syntax violation or an exceeded input guard.
+    pub kind: XmlErrorKind,
 }
 
 impl XmlError {
     pub(crate) fn new(offset: usize, message: impl Into<String>) -> Self {
-        XmlError { offset, message: message.into() }
+        XmlError { offset, message: message.into(), kind: XmlErrorKind::Syntax }
+    }
+
+    pub(crate) fn limit(kind: XmlErrorKind, offset: usize, message: impl Into<String>) -> Self {
+        XmlError { offset, message: message.into(), kind }
     }
 }
 

@@ -18,8 +18,8 @@ pub mod reader;
 
 pub use builder::XmlBuilder;
 pub use dom::{Document, NameId, NodeId, NodeKind};
-pub use error::{Result, XmlError};
-pub use reader::{Event, Reader};
+pub use error::{Result, XmlError, XmlErrorKind};
+pub use reader::{Event, Reader, ReaderLimits};
 
 /// Fraction of a document's bytes that are leaf values (text + attribute
 /// values) rather than markup.

@@ -11,8 +11,30 @@
 //! numeric entity references. It checks well-formedness (tag balance,
 //! duplicate attributes, single root).
 
-use crate::error::{Result, XmlError};
+use crate::error::{Result, XmlError, XmlErrorKind};
 use crate::escape::unescape;
+
+/// Input guards for [`Reader`], bounding how much structure a single
+/// document may demand. Both limits default to values far beyond anything
+/// in the evaluation datasets; tighten them when parsing untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderLimits {
+    /// Maximum depth of nested open elements (default 1024). A document
+    /// opening more elements than this errors with
+    /// [`XmlErrorKind::DepthLimitExceeded`] instead of growing the element
+    /// stack (and every downstream consumer's recursion) without bound.
+    pub max_depth: usize,
+    /// Maximum byte length of one token — a name, attribute value, text
+    /// run, or CDATA section (default 16 MiB). Longer tokens error with
+    /// [`XmlErrorKind::TokenLimitExceeded`] before being materialized.
+    pub max_token_len: usize,
+}
+
+impl Default for ReaderLimits {
+    fn default() -> Self {
+        ReaderLimits { max_depth: 1024, max_token_len: 16 << 20 }
+    }
+}
 
 /// One parsing event produced by [`Reader`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +63,7 @@ pub struct Reader<'a> {
     /// Drop text nodes that consist only of whitespace (defaults to `true`;
     /// inter-element indentation is not data in any of our datasets).
     keep_whitespace: bool,
+    limits: ReaderLimits,
 }
 
 impl<'a> Reader<'a> {
@@ -55,12 +78,19 @@ impl<'a> Reader<'a> {
             seen_root: false,
             finished: false,
             keep_whitespace: false,
+            limits: ReaderLimits::default(),
         }
     }
 
     /// Keep whitespace-only text nodes instead of dropping them.
     pub fn keep_whitespace(mut self, keep: bool) -> Self {
         self.keep_whitespace = keep;
+        self
+    }
+
+    /// Replace the default input guards (see [`ReaderLimits`]).
+    pub fn with_limits(mut self, limits: ReaderLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -131,7 +161,22 @@ impl<'a> Reader<'a> {
                 break;
             }
         }
+        self.check_token_len(start, self.pos, "name")?;
         Ok(self.src[start..self.pos].to_owned())
+    }
+
+    /// Refuse a token spanning `[start, end)` that exceeds the configured
+    /// maximum, before it is copied out of the input.
+    fn check_token_len(&self, start: usize, end: usize, what: &str) -> Result<()> {
+        let len = end - start;
+        if len > self.limits.max_token_len {
+            return Err(XmlError::limit(
+                XmlErrorKind::TokenLimitExceeded,
+                start,
+                format!("{what} of {len} bytes exceeds the {} byte limit", self.limits.max_token_len),
+            ));
+        }
+        Ok(())
     }
 
     fn read_attributes(&mut self) -> Result<Vec<(String, String)>> {
@@ -167,6 +212,7 @@ impl<'a> Reader<'a> {
             if self.peek() != Some(quote) {
                 return Err(self.err("unterminated attribute value"));
             }
+            self.check_token_len(vstart, self.pos, "attribute value")?;
             let value = unescape(&self.src[vstart..self.pos], vstart)?.into_owned();
             self.pos += 1;
             if attrs.iter().any(|(n, _)| *n == name) {
@@ -190,6 +236,7 @@ impl<'a> Reader<'a> {
             self.pos += 9;
             let start = self.pos;
             self.skip_until("]]>", "CDATA section")?;
+            self.check_token_len(start, self.pos - 3, "CDATA section")?;
             let text = self.src[start..self.pos - 3].to_owned();
             return Ok(Some(Event::Text(text)));
         }
@@ -256,6 +303,16 @@ impl<'a> Reader<'a> {
                 }
                 Some(b'>') => {
                     self.pos += 1;
+                    if self.stack.len() >= self.limits.max_depth {
+                        return Err(XmlError::limit(
+                            XmlErrorKind::DepthLimitExceeded,
+                            self.pos,
+                            format!(
+                                "element <{name}> nests deeper than the {} level limit",
+                                self.limits.max_depth
+                            ),
+                        ));
+                    }
                     self.stack.push(name.clone());
                     Ok(Some(Event::StartElement { name, attributes }))
                 }
@@ -283,6 +340,7 @@ impl<'a> Reader<'a> {
         if !self.keep_whitespace && raw.bytes().all(|b| b.is_ascii_whitespace()) {
             return Ok(None);
         }
+        self.check_token_len(start, self.pos, "text run")?;
         let text = unescape(raw, start)?.into_owned();
         Ok(Some(Event::Text(text)))
     }
@@ -423,5 +481,80 @@ mod tests {
         let err = validate("<aa><bb></cc></aa>").unwrap_err();
         assert!(err.offset > 0);
         assert!(err.message.contains("mismatched"));
+    }
+
+    fn first_error(src: &str, limits: ReaderLimits) -> XmlError {
+        let mut r = Reader::new(src).with_limits(limits);
+        loop {
+            match r.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("pathological document parsed cleanly"),
+                Err(e) => return e,
+            }
+        }
+    }
+
+    #[test]
+    fn depth_guard_stops_nesting_bombs() {
+        let tight = ReaderLimits { max_depth: 16, ..ReaderLimits::default() };
+        let bomb = format!("{}{}", "<a>".repeat(64), "</a>".repeat(64));
+        let err = first_error(&bomb, tight);
+        assert_eq!(err.kind, XmlErrorKind::DepthLimitExceeded);
+        assert!(err.message.contains("16 level limit"), "{}", err.message);
+
+        // An unbalanced bomb (never closed) is caught just the same — the
+        // guard fires while opening, not when balancing.
+        let open_only = "<a>".repeat(64);
+        assert_eq!(first_error(&open_only, tight).kind, XmlErrorKind::DepthLimitExceeded);
+
+        // The default limit handles datasets-depth documents but refuses a
+        // 5000-deep chain.
+        let deep = format!("{}{}", "<a>".repeat(5_000), "</a>".repeat(5_000));
+        let err = first_error(&deep, ReaderLimits::default());
+        assert_eq!(err.kind, XmlErrorKind::DepthLimitExceeded);
+
+        // Below the cap, depth alone is not an error.
+        let fine = format!("{}{}", "<a>".repeat(16), "</a>".repeat(16));
+        assert!(validate(&fine).is_ok());
+    }
+
+    #[test]
+    fn token_guard_stops_oversized_tokens() {
+        let tight = ReaderLimits { max_token_len: 32, ..ReaderLimits::default() };
+
+        // Oversized text run.
+        let doc = format!("<a>{}</a>", "x".repeat(100));
+        let err = first_error(&doc, tight);
+        assert_eq!(err.kind, XmlErrorKind::TokenLimitExceeded);
+        assert!(err.message.contains("text run"), "{}", err.message);
+
+        // Oversized attribute value.
+        let doc = format!("<a k=\"{}\"/>", "v".repeat(100));
+        let err = first_error(&doc, tight);
+        assert_eq!(err.kind, XmlErrorKind::TokenLimitExceeded);
+        assert!(err.message.contains("attribute value"), "{}", err.message);
+
+        // Oversized element name.
+        let doc = format!("<{0}></{0}>", "n".repeat(100));
+        let err = first_error(&doc, tight);
+        assert_eq!(err.kind, XmlErrorKind::TokenLimitExceeded);
+        assert!(err.message.contains("name"), "{}", err.message);
+
+        // Oversized CDATA section.
+        let doc = format!("<a><![CDATA[{}]]></a>", "c".repeat(100));
+        let err = first_error(&doc, tight);
+        assert_eq!(err.kind, XmlErrorKind::TokenLimitExceeded);
+        assert!(err.message.contains("CDATA"), "{}", err.message);
+
+        // Tokens at exactly the limit pass.
+        let doc = format!("<a k=\"{0}\">{0}</a>", "y".repeat(32));
+        let mut r = Reader::new(&doc).with_limits(tight);
+        while r.next_event().expect("at-limit tokens parse").is_some() {}
+    }
+
+    #[test]
+    fn syntax_errors_keep_the_syntax_kind() {
+        let err = validate("<a><b></a></b>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::Syntax);
     }
 }
