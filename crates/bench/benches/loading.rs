@@ -6,7 +6,7 @@
 //! width produce byte-identical repositories, so the two series measure the
 //! same work — only the scheduling differs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 use xquec_core::loader::{load_with, LoaderOptions};
@@ -41,4 +41,10 @@ fn load_pipeline(c: &mut Criterion) {
 }
 
 criterion_group!(benches, load_pipeline);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // The loader is instrumented: per-phase latency histograms and byte
+    // counters accumulate across every iteration above.
+    xquec_bench::dump_metrics("loading");
+}

@@ -2,7 +2,7 @@
 //! and the buffer-pool hot path — the substrate costs under every
 //! repository access.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -102,4 +102,10 @@ fn pool_ops(c: &mut Criterion) {
 }
 
 criterion_group!(benches, btree_ops, heap_ops, pool_ops);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Page-level counters (reads, writes, pool hit/miss/eviction) from the
+    // instrumented storage layer, accumulated across the groups above.
+    xquec_bench::dump_metrics("storage");
+}

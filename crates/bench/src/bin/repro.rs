@@ -3,10 +3,13 @@
 //! ```text
 //! repro [--quick] <experiment>...
 //! experiments: table1 fig6-left fig6-right fig7 partition storage-overhead
-//!              ablation-codecs loading all
+//!              ablation-codecs loading profile all
 //! ```
 //!
 //! Results are printed as tables and appended as JSON under `results/`.
+//! Every run also snapshots the [`xquec_obs`] metrics registry into
+//! `results/metrics.json` so the counters behind the tables (page I/O,
+//! loader phases, query-execution cache traffic) are machine-readable.
 
 use std::fs;
 use std::path::Path;
@@ -28,6 +31,7 @@ fn main() {
             "storage-overhead".into(),
             "ablation-codecs".into(),
             "loading".into(),
+            "profile".into(),
             "fig7".into(),
         ];
     }
@@ -180,11 +184,31 @@ fn main() {
                 assert!(rows.iter().all(|r| r.identical), "parallel load must be deterministic");
                 save(results_dir, "BENCH_loading", &rows);
             }
+            "profile" => {
+                let report = experiments::profile(p);
+                println!("document {}", human_bytes(report.bytes));
+                print!("{}", report.load.render());
+                for q in &report.queries {
+                    print!("{}", q.render());
+                }
+                println!("lifetime counters: {}", report.lifetime);
+                save(results_dir, "profile", &report);
+            }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
             }
         }
+    }
+
+    // Snapshot the ambient metrics registry: every counter, gauge and
+    // histogram the experiments touched, one machine-readable file.
+    let snapshot = xquec_obs::snapshot();
+    let path = results_dir.join("metrics.json");
+    fs::write(&path, snapshot.to_json().pretty()).expect("write metrics snapshot");
+    println!("\n(saved {})", path.display());
+    if !xquec_obs::enabled() {
+        println!("(note: built with the `off` feature — ambient metrics are no-ops)");
     }
 }
 

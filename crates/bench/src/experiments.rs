@@ -552,6 +552,56 @@ pub fn loading(p: Profile) -> Vec<LoadingRow> {
         .collect()
 }
 
+// ---- E8: observability profile ---------------------------------------------
+
+/// The observability walkthrough: one profiled load, a persist round-trip
+/// through the pager/WAL (so the `storage.*` counters move), and structured
+/// per-query profiles over the reloaded repository.
+#[derive(Debug)]
+pub struct ProfileReport {
+    /// Document size in bytes.
+    pub bytes: usize,
+    /// Per-phase loader profile with container/codec size breakdown.
+    pub load: xquec_core::LoadProfile,
+    /// Structured profiles for the sampled XMark queries.
+    pub queries: Vec<xquec_core::QueryProfile>,
+    /// Engine-lifetime counters after all profiled runs (cross-query cache
+    /// traffic included).
+    pub lifetime: xquec_core::ExecStats,
+}
+
+/// E8: the observability subsystem end to end — `load_profiled` for the
+/// loader phases, `persist::save`/`persist::load` so the pager and WAL
+/// counters register traffic, then `Engine::profile` on a sample of the
+/// XMark catalog. The ambient [`xquec_obs`] registry fills as a side effect;
+/// `repro` snapshots it into `results/metrics.json` after the run.
+pub fn profile(p: Profile) -> ProfileReport {
+    let bytes = if p.quick { 200_000 } else { 2_000_000 };
+    let xml = Dataset::Xmark.generate(bytes);
+    let opts = LoaderOptions { workload: Some(xmark_workload()), ..Default::default() };
+    let (repo, load) =
+        xquec_core::load_profiled(&xml, &opts).expect("load");
+
+    // Round-trip through the durable store: save commits through the WAL
+    // journal, load re-opens through the checksummed FilePager.
+    let path = std::env::temp_dir()
+        .join(format!("xquec-bench-profile-{}.xqc", std::process::id()));
+    xquec_core::persist::save(&repo, &path).expect("persist repository");
+    let reloaded = xquec_core::persist::load(&path).expect("reload repository");
+    let _ = std::fs::remove_file(&path);
+
+    let engine = Engine::new(&reloaded);
+    let queries: Vec<xquec_core::QueryProfile> = XMARK_QUERIES
+        .iter()
+        .filter(|q| q.in_figure7)
+        .take(4)
+        .map(|q| engine.profile(q.text).expect("profiled query"))
+        .collect();
+    assert!(queries.len() >= 3, "profile experiment needs >= 3 queries");
+    let lifetime = engine.lifetime_stats();
+    ProfileReport { bytes: xml.len(), load, queries, lifetime }
+}
+
 // ---- JSON emission ----------------------------------------------------------
 
 use crate::json::{Json, ToJson};
@@ -576,3 +626,4 @@ impl_to_json!(PartitionReport { naive_cf, good_cf, good_groups, naive_cost, good
 impl_to_json!(StorageRow { bytes, summary_fraction, cf_full, access_structure_factor });
 impl_to_json!(CodecRow { corpus, codec, ratio, decompress_mb_s, properties });
 impl_to_json!(LoadingRow { dataset, bytes, threads, sequential_s, parallel_s, speedup, identical });
+impl_to_json!(ProfileReport { bytes, load, queries, lifetime });

@@ -1,217 +1,12 @@
-//! Minimal JSON emission for the experiment logs.
+//! JSON emission for the experiment logs.
 //!
 //! The result files under `results/` used to be produced with
-//! `serde_json`; the workspace now builds hermetically without external
-//! crates, so each experiment row type implements [`ToJson`] by hand and
-//! [`Json::pretty`] renders the same two-space-indented layout
-//! `serde_json::to_string_pretty` produced.
+//! `serde_json`; the workspace builds hermetically without external
+//! crates, so the serde stand-in lives in [`xquec_obs::json`] (where the
+//! storage and core crates can reach it too) and this module re-exports
+//! it under the historical `xquec_bench::json` path. Each experiment row
+//! type implements [`ToJson`] by hand and [`Json::pretty`] renders the
+//! same two-space-indented layout `serde_json::to_string_pretty`
+//! produced; [`Json::parse`] reads it back for snapshot assertions.
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true`/`false`.
-    Bool(bool),
-    /// Any number (serialized like Rust's shortest float/int form).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object builder from `(key, value)` pairs.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    /// Pretty-print with two-space indentation.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => out.push_str(&format_number(*n)),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, levels: usize) {
-    for _ in 0..levels {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn format_number(n: f64) -> String {
-    if !n.is_finite() {
-        return "null".to_owned(); // JSON has no NaN/inf
-    }
-    if n.fract() == 0.0 && n.abs() < 1e15 {
-        format!("{}", n as i64)
-    } else {
-        format!("{n}")
-    }
-}
-
-/// Conversion into a [`Json`] value (the `Serialize` stand-in).
-pub trait ToJson {
-    /// Convert to a JSON value.
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for Json {
-    fn to_json(&self) -> Json {
-        self.clone()
-    }
-}
-
-impl ToJson for bool {
-    fn to_json(&self) -> Json {
-        Json::Bool(*self)
-    }
-}
-
-impl ToJson for f64 {
-    fn to_json(&self) -> Json {
-        Json::Num(*self)
-    }
-}
-
-impl ToJson for usize {
-    fn to_json(&self) -> Json {
-        Json::Num(*self as f64)
-    }
-}
-
-impl ToJson for String {
-    fn to_json(&self) -> Json {
-        Json::Str(self.clone())
-    }
-}
-
-impl ToJson for &str {
-    fn to_json(&self) -> Json {
-        Json::Str((*self).to_owned())
-    }
-}
-
-impl<T: ToJson> ToJson for Option<T> {
-    fn to_json(&self) -> Json {
-        match self {
-            Some(v) => v.to_json(),
-            None => Json::Null,
-        }
-    }
-}
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<T: ToJson> ToJson for [T] {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pretty_matches_serde_layout() {
-        let v = Json::Arr(vec![Json::obj(vec![
-            ("name", "xmark".to_json()),
-            ("bytes", 12usize.to_json()),
-            ("ratio", Json::Num(0.5)),
-            ("ok", Json::Bool(true)),
-            ("missing", Json::Null),
-        ])]);
-        let expect = "[\n  {\n    \"name\": \"xmark\",\n    \"bytes\": 12,\n    \"ratio\": 0.5,\n    \"ok\": true,\n    \"missing\": null\n  }\n]";
-        assert_eq!(v.pretty(), expect);
-    }
-
-    #[test]
-    fn escapes_control_characters() {
-        assert_eq!(Json::Str("a\"b\\c\nd\u{1}".into()).pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"");
-    }
-
-    #[test]
-    fn empty_containers() {
-        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
-        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
-    }
-
-    #[test]
-    fn non_finite_numbers_become_null() {
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
-    }
-}
+pub use xquec_obs::json::{Json, ParseError, ToJson};

@@ -59,6 +59,30 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Snapshot the ambient [`xquec_obs`] metrics registry into
+/// `results/BENCH_<name>_metrics.json` (counters, gauges and latency
+/// histograms accumulated while the bench ran). Benches with explicit
+/// `main`s call this after their criterion groups finish so every bench
+/// run leaves a machine-readable trace next to the criterion output.
+pub fn dump_metrics(name: &str) {
+    // `cargo bench` runs with the package directory as CWD while `cargo
+    // run` uses the workspace root; anchor on the manifest so both land in
+    // the top-level `results/`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().unwrap_or(root);
+    let dir = root.join("results");
+    let dir = dir.as_path();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("(metrics snapshot skipped: {e})");
+        return;
+    }
+    let path = dir.join(format!("BENCH_{name}_metrics.json"));
+    match std::fs::write(&path, xquec_obs::snapshot().to_json().pretty()) {
+        Ok(()) => println!("(saved {})", path.display()),
+        Err(e) => eprintln!("(metrics snapshot skipped: {e})"),
+    }
+}
+
 /// Format bytes human-readably.
 pub fn human_bytes(b: usize) -> String {
     if b >= 10_000_000 {

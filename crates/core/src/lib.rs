@@ -31,7 +31,9 @@ pub mod workload;
 
 pub use container::{Container, ContainerLeaf, ValueType};
 pub use ids::{ContainerId, ElemId, PathId, TagCode};
-pub use loader::{load, load_with, LoadError, LoaderOptions, WorkloadSpec};
-pub use query::{Engine, ExecStats, QueryError};
+pub use loader::{
+    load, load_profiled, load_with, LoadError, LoadProfile, LoaderOptions, WorkloadSpec,
+};
+pub use query::{Engine, ExecStats, QueryError, QueryProfile};
 pub use repo::{Repository, SizeReport};
 pub use workload::{PredOp, Workload};

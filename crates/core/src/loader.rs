@@ -30,7 +30,10 @@ use crate::summary::{PathKind, StructureSummary};
 use crate::workload::{PredOp, Workload};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use xquec_compress::{CodecKind, NumericCodec, ValueCodec};
+use xquec_obs::json::{Json, ToJson};
+use xquec_obs::{counter, span};
 use xquec_xml::{Event, Reader, XmlError};
 
 /// A workload expressed over leaf-path strings, before container resolution.
@@ -128,6 +131,165 @@ impl From<XmlError> for LoadError {
     }
 }
 
+/// Wall time of one loader phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name (matches the `loader.phase.*` span names, last segment).
+    pub name: &'static str,
+    /// Elapsed wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Compressed-vs-raw accounting for one container (Table 1 / Fig 6 style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerSizeRow {
+    /// Rooted leaf path, e.g. `/site/people/person/name/text()`.
+    pub path: String,
+    /// Codec name (`alm`, `huffman`, `numeric`, `blz`, …).
+    pub codec: &'static str,
+    /// Number of records.
+    pub values: usize,
+    /// Plaintext bytes the container represents.
+    pub raw_bytes: usize,
+    /// Compressed payload bytes.
+    pub compressed_bytes: usize,
+    /// Whether records are individually accessible (vs. block storage).
+    pub individual: bool,
+}
+
+/// Aggregate totals for one codec across all containers that use it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecTotal {
+    /// Codec name.
+    pub codec: &'static str,
+    /// Containers compressed with it.
+    pub containers: usize,
+    /// Summed plaintext bytes.
+    pub raw_bytes: usize,
+    /// Summed compressed bytes.
+    pub compressed_bytes: usize,
+}
+
+/// Structured account of one load: per-phase wall time plus per-container
+/// and per-codec size totals. Returned by [`load_profiled`]; phase times
+/// come from `std::time::Instant` directly, so the profile stays meaningful
+/// even when the ambient instrumentation is compiled out (`off` feature).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// Bytes of input XML.
+    pub input_bytes: usize,
+    /// Wall time per phase: parse, stats, cost_search, codec_training,
+    /// container_build — in execution order.
+    pub phases: Vec<PhaseTiming>,
+    /// One row per container, in container-id order.
+    pub containers: Vec<ContainerSizeRow>,
+    /// Totals grouped by codec, sorted by codec name.
+    pub codecs: Vec<CodecTotal>,
+}
+
+impl LoadProfile {
+    fn from_repo(repo: &Repository, phases: Vec<PhaseTiming>, input_bytes: usize) -> Self {
+        let containers: Vec<ContainerSizeRow> = repo
+            .containers
+            .iter()
+            .map(|c| ContainerSizeRow {
+                path: repo.container_path_string(c.id),
+                codec: c.codec().kind().name(),
+                values: c.len(),
+                raw_bytes: c.plain_size(),
+                compressed_bytes: c.compressed_size(),
+                individual: c.is_individual(),
+            })
+            .collect();
+        let mut by_codec: std::collections::BTreeMap<&'static str, CodecTotal> =
+            std::collections::BTreeMap::new();
+        for row in &containers {
+            let t = by_codec.entry(row.codec).or_insert(CodecTotal {
+                codec: row.codec,
+                containers: 0,
+                raw_bytes: 0,
+                compressed_bytes: 0,
+            });
+            t.containers += 1;
+            t.raw_bytes += row.raw_bytes;
+            t.compressed_bytes += row.compressed_bytes;
+        }
+        LoadProfile {
+            input_bytes,
+            phases,
+            containers,
+            codecs: by_codec.into_values().collect(),
+        }
+    }
+
+    /// Total wall time across all phases, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+
+    /// Human-readable report: phases, then per-codec totals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "load of {} input bytes", self.input_bytes);
+        for p in &self.phases {
+            let _ = writeln!(out, "  phase {:<18} {:>12.3} ms", p.name, p.nanos as f64 / 1e6);
+        }
+        for c in &self.codecs {
+            let _ = writeln!(
+                out,
+                "  codec {:<18} {} containers, {} -> {} bytes",
+                c.codec, c.containers, c.raw_bytes, c.compressed_bytes
+            );
+        }
+        out
+    }
+}
+
+impl ToJson for PhaseTiming {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("nanos", Json::Num(self.nanos as f64)),
+        ])
+    }
+}
+
+impl ToJson for ContainerSizeRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("path", self.path.to_json()),
+            ("codec", self.codec.to_json()),
+            ("values", self.values.to_json()),
+            ("raw_bytes", self.raw_bytes.to_json()),
+            ("compressed_bytes", self.compressed_bytes.to_json()),
+            ("individual", self.individual.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CodecTotal {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("codec", self.codec.to_json()),
+            ("containers", self.containers.to_json()),
+            ("raw_bytes", self.raw_bytes.to_json()),
+            ("compressed_bytes", self.compressed_bytes.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LoadProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("input_bytes", self.input_bytes.to_json()),
+            ("phases", self.phases.to_json()),
+            ("containers", self.containers.to_json()),
+            ("codecs", self.codecs.to_json()),
+        ])
+    }
+}
+
 /// Load and compress a document with default options (no workload).
 pub fn load(xml: &str) -> Result<Repository, LoadError> {
     load_with(xml, &LoaderOptions::default())
@@ -135,6 +297,22 @@ pub fn load(xml: &str) -> Result<Repository, LoadError> {
 
 /// Load and compress a document.
 pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadError> {
+    Ok(load_impl(xml, opts)?.0)
+}
+
+/// [`load_with`], additionally returning a [`LoadProfile`] with per-phase
+/// wall times and per-container / per-codec size accounting.
+pub fn load_profiled(xml: &str, opts: &LoaderOptions) -> Result<(Repository, LoadProfile), LoadError> {
+    let (repo, phases) = load_impl(xml, opts)?;
+    let profile = LoadProfile::from_repo(&repo, phases, xml.len());
+    Ok((repo, profile))
+}
+
+fn load_impl(xml: &str, opts: &LoaderOptions) -> Result<(Repository, Vec<PhaseTiming>), LoadError> {
+    let mut phases: Vec<PhaseTiming> = Vec::with_capacity(5);
+    counter!("loader.bytes.input").add(xml.len() as u64);
+    let phase_start = Instant::now();
+    let phase_span = span("loader.phase.parse");
     // ---- Phase A: shred ------------------------------------------------
     let mut dict = NameDictionary::new();
     let mut tree = StructureTree::new();
@@ -177,6 +355,11 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
         }
     }
 
+    drop(phase_span);
+    phases.push(PhaseTiming { name: "parse", nanos: elapsed_ns(phase_start) });
+    let phase_start = Instant::now();
+    let phase_span = span("loader.phase.stats");
+
     // Assign container ids in path order for determinism.
     let mut paths: Vec<PathId> = pending.keys().copied().collect();
     paths.sort();
@@ -200,6 +383,11 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
         })
         .into_iter()
         .unzip();
+
+    drop(phase_span);
+    phases.push(PhaseTiming { name: "stats", nanos: elapsed_ns(phase_start) });
+    let phase_start = Instant::now();
+    let phase_span = span("loader.phase.cost_search");
 
     // ---- Phase B: compression configuration ----------------------------
     // Build a temporary repository view for path resolution of the workload.
@@ -274,6 +462,11 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
         touched_any[c.0 as usize] = true;
     }
 
+    drop(phase_span);
+    phases.push(PhaseTiming { name: "cost_search", nanos: elapsed_ns(phase_start) });
+    let phase_start = Instant::now();
+    let phase_span = span("loader.phase.codec_training");
+
     // ---- Phase C: train shared models and build containers -------------
     // One codec per configuration group, trained concurrently; group index
     // keys the map, so the fill order is irrelevant.
@@ -293,6 +486,11 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
         .enumerate()
         .filter_map(|(gi, c)| c.map(|c| (gi, c)))
         .collect();
+
+    drop(phase_span);
+    phases.push(PhaseTiming { name: "codec_training", nanos: elapsed_ns(phase_start) });
+    let phase_start = Instant::now();
+    let phase_span = span("loader.phase.container_build");
 
     // Per-container compression + sorted-record assembly fan out; container
     // ids were fixed in path order above and par_map_into returns results in
@@ -349,7 +547,38 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
         containers.push(container);
     }
 
-    Ok(Repository { dict, tree, summary, containers, stats, original_bytes: xml.len() })
+    drop(phase_span);
+    phases.push(PhaseTiming { name: "container_build", nanos: elapsed_ns(phase_start) });
+
+    // Publish size accounting: overall raw/compressed totals plus per-codec
+    // splits, so a metrics snapshot carries Table 1-style numbers.
+    for c in &containers {
+        counter!("loader.bytes.raw").add(c.plain_size() as u64);
+        counter!("loader.bytes.compressed").add(c.compressed_size() as u64);
+        xquec_obs::metrics::counter_handle(codec_metric(c.codec().kind()))
+            .add(c.compressed_size() as u64);
+    }
+    counter!("loader.containers.built").add(containers.len() as u64);
+
+    Ok((Repository { dict, tree, summary, containers, stats, original_bytes: xml.len() }, phases))
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Registry counter name for compressed bytes produced per codec. Static
+/// strings because the registry is `&'static`-keyed.
+fn codec_metric(kind: CodecKind) -> &'static str {
+    match kind {
+        CodecKind::Raw => "loader.codec.raw.compressed_bytes",
+        CodecKind::Huffman => "loader.codec.huffman.compressed_bytes",
+        CodecKind::Alm => "loader.codec.alm.compressed_bytes",
+        CodecKind::HuTucker => "loader.codec.hu_tucker.compressed_bytes",
+        CodecKind::Arith => "loader.codec.arith.compressed_bytes",
+        CodecKind::Numeric => "loader.codec.numeric.compressed_bytes",
+        CodecKind::Blz => "loader.codec.blz.compressed_bytes",
+    }
 }
 
 fn resolve_container(

@@ -478,6 +478,113 @@ fn zero_capacity_block_cache_reinflates() {
     assert_eq!(e.stats.borrow().decompressions, first, "re-inflated: no retention");
 }
 
+/// The documented counter semantics, asserted: a cache hit does NOT count
+/// as a decompression. Reads that hit the memo/LRU increment `cache_hits`
+/// only; `decompressions` counts codec work alone.
+#[test]
+fn cache_hit_is_not_a_decompression() {
+    let r = repo();
+    let e = Engine::new(&r);
+    // 3 distinct names are read 3 times each (9 fetches): 3 decodes + 6 hits.
+    e.run(
+        r#"for $t in //closed_auction
+           for $p in //person
+           return $p/name/text()"#,
+    )
+    .unwrap();
+    let stats = e.stats.borrow().clone();
+    assert!(stats.cache_hits > 0, "{stats:?}");
+    assert!(stats.decompressions > 0, "{stats:?}");
+    // Every fetch is either codec work or a hit — hits are not double
+    // counted into decompressions, so the two sum to the fetch count.
+    assert_eq!(
+        stats.decompressions + stats.cache_hits,
+        stats.value_fetches,
+        "a hit must not also count as a decompression: {stats:?}"
+    );
+    assert_eq!(stats.cache_misses, stats.decompressions, "{stats:?}");
+}
+
+#[test]
+fn exec_stats_merge_display_json() {
+    let r = repo();
+    let e = Engine::new(&r);
+    e.run("//person/name/text()").unwrap();
+    let a = e.stats.borrow().clone();
+    e.run("sum(//closed_auction/price/text())").unwrap();
+    let b = e.stats.borrow().clone();
+    let mut merged = a.clone();
+    merged.merge(&b);
+    assert_eq!(merged.decompressions, a.decompressions + b.decompressions);
+    assert_eq!(merged.value_fetches, a.value_fetches + b.value_fetches);
+    assert_eq!(merged.operators.len(), a.operators.len() + b.operators.len());
+    // Display is a single line naming every counter.
+    let line = merged.to_string();
+    for key in ["decompressions=", "cache_hits=", "value_fetches="] {
+        assert!(line.contains(key), "{line}");
+    }
+    // ToJson carries the same numbers.
+    use xquec_obs::json::ToJson;
+    let json = merged.to_json();
+    assert_eq!(
+        json.get("decompressions").and_then(|j| j.as_num()),
+        Some(merged.decompressions as f64)
+    );
+}
+
+/// Per-query resets fold into the engine-lifetime accumulator instead of
+/// silently dropping cross-query cache statistics.
+#[test]
+fn lifetime_stats_survive_per_query_resets() {
+    let spec = WorkloadSpec::new().constant("//name/text()", PredOp::Eq);
+    let r = load_with(DOC, &LoaderOptions { workload: Some(spec), ..Default::default() })
+        .unwrap();
+    let e = Engine::new(&r);
+    e.run("//person/@id").unwrap();
+    let first = e.stats.borrow().clone();
+    assert!(first.decompressions > 0);
+    e.run("//person/@id").unwrap();
+    // The per-query view forgot the first query's work...
+    assert_eq!(e.stats.borrow().decompressions, 0);
+    // ...but the lifetime view did not.
+    let lifetime = e.lifetime_stats();
+    assert!(lifetime.decompressions >= first.decompressions, "{lifetime:?}");
+    assert!(lifetime.cache_hits > 0, "cross-query LRU hits visible: {lifetime:?}");
+    assert!(lifetime.value_fetches >= 2 * first.value_fetches, "{lifetime:?}");
+}
+
+#[test]
+fn profile_reports_phases_and_counters_for_distinct_queries() {
+    let r = repo_with_workload();
+    let e = Engine::new(&r);
+    let queries = [
+        "/site/people/person/name/text()",
+        r#"for $c in //closed_auction
+           for $p in //person
+           where $c/buyer/@person = $p/@id
+           return $p/name/text()"#,
+        "for $p in //person order by $p/age/text() return $p/age/text()",
+    ];
+    for q in queries {
+        let profile = e.profile(q).unwrap();
+        assert_eq!(profile.query, q);
+        let names: Vec<&str> = profile.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["parse", "compile", "execute", "serialize"], "{q}");
+        assert!(profile.phase_nanos("execute").unwrap() > 0, "{q}");
+        assert!(profile.total_nanos() > 0, "{q}");
+        assert!(profile.output_bytes > 0, "{q}");
+        assert!(profile.result_items > 0, "{q}");
+        assert!(profile.stats.value_fetches > 0, "{q}");
+        // The profiled run and a plain run agree on the output.
+        assert_eq!(e.run(q).unwrap().len(), profile.output_bytes, "{q}");
+        // The text report mentions every phase.
+        let report = profile.render();
+        for phase in ["parse", "compile", "execute", "serialize"] {
+            assert!(report.contains(phase), "{report}");
+        }
+    }
+}
+
 #[test]
 fn query_results_unchanged_by_caching() {
     let r = repo();

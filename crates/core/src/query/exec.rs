@@ -36,12 +36,16 @@ use crate::container::{ContainerLeaf, ValueType};
 use crate::ids::{ContainerId, ElemId, PathId, TagCode};
 use crate::repo::Repository;
 use crate::summary::PathKind;
+use super::profile::{QueryPhase, QueryProfile};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 use xquec_compress::ValueCodec;
+use xquec_obs::json::{Json, ToJson};
+use xquec_obs::{counter, span};
 
 /// Query-evaluation error.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,7 +85,12 @@ fn err<T>(msg: impl Into<String>) -> Result<T, QueryError> {
 }
 
 /// Execution counters (lazy-decompression instrumentation).
-#[derive(Debug, Default, Clone)]
+///
+/// Counter semantics: `decompressions` counts codec work only. A read
+/// served from the per-query value memo or the cross-query block LRU
+/// increments `cache_hits` and **not** `decompressions` — asserted by
+/// `cache_hit_is_not_a_decompression` in the engine tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ExecStats {
     /// Values decompressed.
     pub decompressions: usize,
@@ -93,8 +102,54 @@ pub struct ExecStats {
     pub cache_hits: usize,
     /// Reads that had to decompress and then populated a cache.
     pub cache_misses: usize,
+    /// Container-value fetches requested by operators (hit or miss).
+    pub value_fetches: usize,
     /// Physical-operator trace (one entry per operator instantiation).
     pub operators: Vec<String>,
+}
+
+impl ExecStats {
+    /// Fold `other` into `self`: counters add, operator traces concatenate.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.decompressions += other.decompressions;
+        self.compressed_eq += other.compressed_eq;
+        self.compressed_cmp += other.compressed_cmp;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.value_fetches += other.value_fetches;
+        self.operators.extend(other.operators.iter().cloned());
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decompressions={} compressed_eq={} compressed_cmp={} \
+             cache_hits={} cache_misses={} value_fetches={} operators={}",
+            self.decompressions,
+            self.compressed_eq,
+            self.compressed_cmp,
+            self.cache_hits,
+            self.cache_misses,
+            self.value_fetches,
+            self.operators.len()
+        )
+    }
+}
+
+impl ToJson for ExecStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("decompressions", self.decompressions.to_json()),
+            ("compressed_eq", self.compressed_eq.to_json()),
+            ("compressed_cmp", self.compressed_cmp.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("value_fetches", self.value_fetches.to_json()),
+            ("operators", self.operators.to_json()),
+        ])
+    }
 }
 
 type Env = Vec<(String, Sequence)>;
@@ -161,8 +216,14 @@ pub struct Engine<'r> {
     repo: &'r Repository,
     /// `subtree_end[i]` = largest pre-order id inside node `i`'s subtree.
     subtree_end: Vec<u32>,
-    /// Execution counters for the most recent run.
+    /// Execution counters for the most recent run (per-query: reset at the
+    /// start of every query after being folded into `lifetime`).
     pub stats: RefCell<ExecStats>,
+    /// Engine-lifetime accumulation of every retired per-query [`ExecStats`].
+    /// The block LRU survives across queries, so cross-query cache traffic
+    /// is only visible here — resetting `stats` alone would silently drop
+    /// it. Read through [`Engine::lifetime_stats`].
+    lifetime: RefCell<ExecStats>,
     /// Decompressed block containers (an XMill-style container must be
     /// inflated wholesale the first time any of its values is touched).
     block_cache: RefCell<BlockLru>,
@@ -199,9 +260,33 @@ impl<'r> Engine<'r> {
             repo,
             subtree_end,
             stats: RefCell::new(ExecStats::default()),
+            lifetime: RefCell::new(ExecStats::default()),
             block_cache: RefCell::new(BlockLru::new(capacity)),
             value_cache: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Fold the current per-query counters into the lifetime accumulator,
+    /// publish them to the metrics registry, and reset them for the next
+    /// query. Per-query `stats` resets therefore never lose information.
+    fn retire_stats(&self) {
+        let done = std::mem::take(&mut *self.stats.borrow_mut());
+        counter!("query.exec.decompressions").add(done.decompressions as u64);
+        counter!("query.exec.compressed_eq").add(done.compressed_eq as u64);
+        counter!("query.exec.compressed_cmp").add(done.compressed_cmp as u64);
+        counter!("query.exec.cache_hits").add(done.cache_hits as u64);
+        counter!("query.exec.cache_misses").add(done.cache_misses as u64);
+        counter!("query.exec.value_fetches").add(done.value_fetches as u64);
+        self.lifetime.borrow_mut().merge(&done);
+    }
+
+    /// Counters accumulated across every query this engine has run,
+    /// including the (not yet retired) current ones. Cross-query block-LRU
+    /// traffic shows up here even after per-query resets.
+    pub fn lifetime_stats(&self) -> ExecStats {
+        let mut total = self.lifetime.borrow().clone();
+        total.merge(&self.stats.borrow());
+        total
     }
 
     /// Read one value of a block container, inflating the whole container on
@@ -230,6 +315,7 @@ impl<'r> Engine<'r> {
     /// Read one container value as plaintext, going through the block cache
     /// for block containers and the per-value memo otherwise.
     fn read_value(&self, cid: ContainerId, idx: u32) -> Result<String, QueryError> {
+        self.stats.borrow_mut().value_fetches += 1;
         let c = self.repo.container(cid);
         if c.is_individual() {
             Ok(self.decompress_interned(cid, c.compressed(idx)?)?.to_string())
@@ -241,16 +327,22 @@ impl<'r> Engine<'r> {
     /// Parse, evaluate and serialize a query.
     pub fn run(&self, query: &str) -> Result<String, QueryError> {
         let seq = self.eval_query(query)?;
+        let _span = span("query.phase.serialize");
         self.serialize(&seq)
     }
 
     /// Parse and evaluate a query, returning the raw sequence.
     pub fn eval_query(&self, query: &str) -> Result<Sequence, QueryError> {
-        *self.stats.borrow_mut() = ExecStats::default();
+        self.retire_stats();
+        counter!("query.exec.queries").inc();
         self.value_cache.borrow_mut().clear();
-        let ast = parse(query)?;
+        let ast = {
+            let _span = span("query.phase.parse");
+            parse(query)?
+        };
         let ctx = Ctx { join_cache: RefCell::new(HashMap::new()) };
         let mut env: Env = Vec::new();
+        let _span = span("query.phase.execute");
         self.eval(&ast, &mut env, &ctx)
     }
 
@@ -258,6 +350,62 @@ impl<'r> Engine<'r> {
     pub fn explain(&self, query: &str) -> Result<String, QueryError> {
         self.run(query)?;
         Ok(self.stats.borrow().operators.join("\n"))
+    }
+
+    /// Run a query with per-phase wall-clock timing and return a structured
+    /// [`QueryProfile`]: parse/compile/execute/serialize times, result
+    /// shape, per-query counters, and the operator trace. Times come from
+    /// `std::time::Instant` directly, so profiling works even when the
+    /// ambient instrumentation is compiled out (`off` feature).
+    pub fn profile(&self, query: &str) -> Result<QueryProfile, QueryError> {
+        fn elapsed_ns(start: Instant) -> u64 {
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+        }
+        self.retire_stats();
+        counter!("query.exec.queries").inc();
+        self.value_cache.borrow_mut().clear();
+
+        let t = Instant::now();
+        let ast = {
+            let _span = span("query.phase.parse");
+            parse(query)?
+        };
+        let parse_nanos = elapsed_ns(t);
+
+        // "Compile": plan-context setup. The planner is fused into the
+        // evaluator (pushdown and join decorrelation happen inside eval),
+        // so this phase is cheap but kept distinct for report stability.
+        let t = Instant::now();
+        let ctx = Ctx { join_cache: RefCell::new(HashMap::new()) };
+        let mut env: Env = Vec::new();
+        let compile_nanos = elapsed_ns(t);
+
+        let t = Instant::now();
+        let seq = {
+            let _span = span("query.phase.execute");
+            self.eval(&ast, &mut env, &ctx)?
+        };
+        let execute_nanos = elapsed_ns(t);
+
+        let t = Instant::now();
+        let output = {
+            let _span = span("query.phase.serialize");
+            self.serialize(&seq)?
+        };
+        let serialize_nanos = elapsed_ns(t);
+
+        Ok(QueryProfile {
+            query: query.to_owned(),
+            phases: vec![
+                QueryPhase { name: "parse", nanos: parse_nanos },
+                QueryPhase { name: "compile", nanos: compile_nanos },
+                QueryPhase { name: "execute", nanos: execute_nanos },
+                QueryPhase { name: "serialize", nanos: serialize_nanos },
+            ],
+            result_items: seq.len(),
+            output_bytes: output.len(),
+            stats: self.stats.borrow().clone(),
+        })
     }
 
     // ---- core evaluation ------------------------------------------------
@@ -1527,6 +1675,7 @@ impl<'r> Engine<'r> {
 
     /// Decompress a container value (counted, memoized per query).
     fn decompress(&self, container: ContainerId, bytes: &[u8]) -> Result<String, QueryError> {
+        self.stats.borrow_mut().value_fetches += 1;
         Ok(self.decompress_interned(container, bytes)?.to_string())
     }
 
@@ -1715,6 +1864,14 @@ impl<'r> Engine<'r> {
         out.push_str(&f.tag);
         out.push('>');
         Ok(())
+    }
+}
+
+/// Flush the never-retired counters of the last query into the registry so
+/// engine teardown does not lose the tail of the instrumentation.
+impl Drop for Engine<'_> {
+    fn drop(&mut self) {
+        self.retire_stats();
     }
 }
 

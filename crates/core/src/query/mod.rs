@@ -10,9 +10,11 @@ mod engine_tests;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod profile;
 pub mod value;
 
 pub use ast::Expr;
 pub use exec::{Engine, ExecStats, QueryError};
 pub use parser::{parse, ParseError};
+pub use profile::{QueryPhase, QueryProfile};
 pub use value::{Item, Sequence};

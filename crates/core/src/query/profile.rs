@@ -1,0 +1,91 @@
+//! Structured per-query profiles returned by [`crate::Engine::profile`].
+//!
+//! A [`QueryProfile`] captures wall time per query phase, the result shape,
+//! and the per-query [`ExecStats`] counters. It serializes to JSON through
+//! the workspace serde stand-in ([`xquec_obs::json`]) and renders a
+//! human-readable `--explain`-style report via [`QueryProfile::render`].
+//! Phase times are measured with `std::time::Instant` directly, so
+//! profiles stay meaningful when ambient instrumentation is compiled out.
+
+use super::exec::ExecStats;
+use xquec_obs::json::{Json, ToJson};
+
+/// Wall time of one query phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPhase {
+    /// Phase name: `parse`, `compile`, `execute`, or `serialize` (matching
+    /// the `query.phase.*` span names, last segment).
+    pub name: &'static str,
+    /// Elapsed wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Structured account of one profiled query run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// The query text as submitted.
+    pub query: String,
+    /// Per-phase wall times, in execution order.
+    pub phases: Vec<QueryPhase>,
+    /// Items in the result sequence.
+    pub result_items: usize,
+    /// Bytes of serialized XML output.
+    pub output_bytes: usize,
+    /// Per-query execution counters (decompressions, compressed-domain
+    /// comparisons, cache traffic, value fetches, operator trace).
+    pub stats: ExecStats,
+}
+
+impl QueryProfile {
+    /// Total wall time across all phases, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.phases.iter().map(|p| p.nanos).sum()
+    }
+
+    /// Elapsed nanoseconds of the phase named `name`, if present.
+    pub fn phase_nanos(&self, name: &str) -> Option<u64> {
+        self.phases.iter().find(|p| p.name == name).map(|p| p.nanos)
+    }
+
+    /// Human-readable `--explain`-style report: phase timings, counters,
+    /// then the physical-operator trace.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "query: {}", self.query.trim());
+        for p in &self.phases {
+            let _ = writeln!(out, "  phase {:<10} {:>12.3} ms", p.name, p.nanos as f64 / 1e6);
+        }
+        let _ = writeln!(
+            out,
+            "  result: {} items, {} output bytes",
+            self.result_items, self.output_bytes
+        );
+        let _ = writeln!(out, "  counters: {}", self.stats);
+        for op in &self.stats.operators {
+            let _ = writeln!(out, "  operator {op}");
+        }
+        out
+    }
+}
+
+impl ToJson for QueryPhase {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("nanos", Json::Num(self.nanos as f64)),
+        ])
+    }
+}
+
+impl ToJson for QueryProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("query", self.query.to_json()),
+            ("phases", self.phases.to_json()),
+            ("result_items", self.result_items.to_json()),
+            ("output_bytes", self.output_bytes.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}

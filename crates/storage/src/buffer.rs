@@ -10,6 +10,7 @@ use crate::pager::Pager;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use xquec_obs::counter;
 
 struct Frame {
     id: PageId,
@@ -24,6 +25,7 @@ struct Inner {
     hand: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Buffer pool with clock (second-chance) replacement.
@@ -33,13 +35,15 @@ pub struct BufferPool {
     inner: Mutex<Inner>,
 }
 
-/// Hit/miss counters for instrumentation.
+/// Hit/miss/eviction counters for instrumentation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Page requests served from memory.
     pub hits: u64,
     /// Page requests that went to the pager.
     pub misses: u64,
+    /// Resident frames replaced to make room for a faulted-in page.
+    pub evictions: u64,
 }
 
 impl BufferPool {
@@ -55,6 +59,7 @@ impl BufferPool {
                 hand: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
         }
     }
@@ -103,16 +108,18 @@ impl BufferPool {
     /// Current hit/miss counters.
     pub fn stats(&self) -> PoolStats {
         let inner = self.inner.lock();
-        PoolStats { hits: inner.hits, misses: inner.misses }
+        PoolStats { hits: inner.hits, misses: inner.misses, evictions: inner.evictions }
     }
 
     /// Locate (or fault in) page `id`, returning its frame slot.
     fn load(&self, inner: &mut Inner, id: PageId) -> Result<usize> {
         if let Some(&slot) = inner.map.get(&id) {
             inner.hits += 1;
+            counter!("storage.pool.hit").inc();
             return Ok(slot);
         }
         inner.misses += 1;
+        counter!("storage.pool.miss").inc();
         let mut page = Page::new();
         self.pager.read_page(id, &mut page)?;
         if inner.frames.len() < self.capacity {
@@ -136,6 +143,8 @@ impl BufferPool {
             self.pager.write_page(victim.id, &victim.page)?;
         }
         let old_id = victim.id;
+        inner.evictions += 1;
+        counter!("storage.pool.eviction").inc();
         inner.map.remove(&old_id);
         inner.frames[slot] = Frame { id, page, dirty: false, referenced: true };
         inner.map.insert(id, slot);
@@ -174,6 +183,9 @@ mod tests {
         }
         let stats = p.stats();
         assert!(stats.misses >= 5, "{stats:?}");
+        // A 2-frame pool faulting ≥5 pages must have evicted to make room.
+        assert!(stats.evictions >= 3, "{stats:?}");
+        assert_eq!(stats.evictions, stats.misses - 2, "{stats:?}");
     }
 
     #[test]

@@ -33,6 +33,21 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
+use xquec_obs::{counter, event, Field};
+
+/// Emit the `storage.pager.open_rejected` event and build the
+/// [`StorageError::BadHeader`] it accompanies, so every header-rejection
+/// path is observable rather than silent.
+fn reject_header(path: &Path, detail: String) -> StorageError {
+    event(
+        "storage.pager.open_rejected",
+        &[
+            Field::new("path", path.display()),
+            Field::new("detail", &detail),
+        ],
+    );
+    StorageError::BadHeader { detail }
+}
 
 /// A page-granular storage backend.
 pub trait Pager: Send + Sync {
@@ -185,6 +200,7 @@ impl FilePager {
     /// CRC, and a length consistent with the stored page count — otherwise
     /// [`StorageError::BadHeader`] is returned.
     pub fn open_raw(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
@@ -197,40 +213,42 @@ impl FilePager {
             });
         }
         if len < FILE_HEADER {
-            return Err(StorageError::BadHeader {
-                detail: format!("file of {len} bytes is shorter than the {FILE_HEADER}-byte header"),
-            });
+            return Err(reject_header(
+                path,
+                format!("file of {len} bytes is shorter than the {FILE_HEADER}-byte header"),
+            ));
         }
         let mut h = [0u8; FILE_HEADER as usize];
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut h)?;
         if h[0..8] != FILE_MAGIC {
-            return Err(StorageError::BadHeader { detail: "bad magic".into() });
+            return Err(reject_header(path, "bad magic".into()));
         }
         let version = u16::from_le_bytes([h[8], h[9]]);
         if version != FORMAT_VERSION {
-            return Err(StorageError::BadHeader {
-                detail: format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
-            });
+            return Err(reject_header(
+                path,
+                format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+            ));
         }
         let page_size = u32::from_le_bytes([h[10], h[11], h[12], h[13]]);
         if page_size as usize != PAGE_SIZE {
-            return Err(StorageError::BadHeader {
-                detail: format!("page size {page_size} does not match engine page size {PAGE_SIZE}"),
-            });
+            return Err(reject_header(
+                path,
+                format!("page size {page_size} does not match engine page size {PAGE_SIZE}"),
+            ));
         }
         let stored_crc = u32::from_le_bytes([h[22], h[23], h[24], h[25]]);
         if crc32(&h[0..22]) != stored_crc {
-            return Err(StorageError::BadHeader { detail: "header checksum mismatch".into() });
+            return Err(reject_header(path, "header checksum mismatch".into()));
         }
         let count = u64::from_le_bytes(h[14..22].try_into().expect("8 bytes"));
         let expected = FILE_HEADER + count * FRAME_SIZE;
         if len != expected {
-            return Err(StorageError::BadHeader {
-                detail: format!(
-                    "file length {len} inconsistent with {count} pages (expected {expected})"
-                ),
-            });
+            return Err(reject_header(
+                path,
+                format!("file length {len} inconsistent with {count} pages (expected {expected})"),
+            ));
         }
         Ok(FilePager {
             file: Mutex::new(file),
@@ -250,6 +268,7 @@ impl FilePager {
 
 impl Pager for FilePager {
     fn read_page(&self, id: PageId, out: &mut Page) -> Result<()> {
+        counter!("storage.page.read").inc();
         let count = *self.count.lock();
         if id.0 >= count {
             return Err(StorageError::PageOutOfRange { page: id.0, count });
@@ -276,12 +295,15 @@ impl Pager for FilePager {
             ));
         }
         if crc32(out.bytes()) != stored_crc {
+            counter!("storage.page.checksum_failed").inc();
             return Err(StorageError::ChecksumMismatch { page: id.0 });
         }
+        counter!("storage.page.checksum_validated").inc();
         Ok(())
     }
 
     fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        counter!("storage.page.write").inc();
         self.check_poisoned()?;
         let count = *self.count.lock();
         if id.0 >= count {
@@ -300,6 +322,7 @@ impl Pager for FilePager {
     }
 
     fn allocate(&self) -> Result<PageId> {
+        counter!("storage.page.alloc").inc();
         self.check_poisoned()?;
         let mut count = self.count.lock();
         let id = PageId(*count);
@@ -326,11 +349,13 @@ impl Pager for FilePager {
     }
 
     fn sync(&self) -> Result<()> {
+        counter!("storage.page.sync").inc();
         self.check_poisoned()?;
         if let Err(e) = self.file.lock().sync_all() {
             // After a failed fsync the kernel may have dropped dirty pages;
             // nothing written from here on has a knowable durable state.
             self.poisoned.store(true, Ordering::Release);
+            event("storage.pager.sync_failed", &[Field::new("error", &e)]);
             return Err(e.into());
         }
         Ok(())
