@@ -1,27 +1,44 @@
 //! `repro` — regenerate every table and figure of the XQueC paper.
 //!
 //! ```text
-//! repro [--quick] <experiment>...
+//! repro [--quick] [--baseline <file>] [--write-baseline <file>]
+//!       [--threshold <rel>] <experiment>...
 //! experiments: table1 fig6-left fig6-right fig7 partition storage-overhead
-//!              ablation-codecs loading profile all
+//!              ablation-codecs loading profile calibration all
 //! ```
 //!
-//! Results are printed as tables and appended as JSON under `results/`.
-//! Every run also snapshots the [`xquec_obs`] metrics registry into
-//! `results/metrics.json` so the counters behind the tables (page I/O,
-//! loader phases, query-execution cache traffic) are machine-readable.
+//! Results are printed as tables and written as JSON under `results/`.
+//! Every experiment also leaves `results/metrics_<experiment>.json` — the
+//! delta of the [`xquec_obs`] registry it moved — and the run as a whole
+//! snapshots the cumulative registry into `results/metrics.json`, so
+//! re-running a single experiment no longer clobbers the merged view with
+//! a partial one.
+//!
+//! The regression gate compares machine-stable numbers (compression
+//! ratios, cardinalities, calibration errors — never wall-clock fields,
+//! see [`xquec_bench::baseline::VOLATILE_KEYS`]) against a committed
+//! baseline: `--write-baseline` records them, `--baseline` fails the run
+//! (exit 1) when any entry drifts by more than `--threshold` (default
+//! 0.20) or the entry set itself changes.
 
 use std::fs;
 use std::path::Path;
 use xquec_bench::experiments::{self, Profile};
-use xquec_bench::json::ToJson;
-use xquec_bench::{human_bytes, print_table};
+use xquec_bench::json::{Json, ToJson};
+use xquec_bench::{baseline, human_bytes, print_table, snapshot_delta};
+
+/// Default relative drift tolerance for `--baseline`.
+const DEFAULT_THRESHOLD: f64 = 0.20;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut wanted: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let baseline_path = flag_value(&args, "--baseline");
+    let write_baseline = flag_value(&args, "--write-baseline");
+    let threshold = flag_value(&args, "--threshold")
+        .map(|t| t.parse::<f64>().unwrap_or_else(|_| die(&format!("bad --threshold `{t}`"))))
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let mut wanted: Vec<String> = positional(&args);
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
             "table1".into(),
@@ -32,6 +49,7 @@ fn main() {
             "ablation-codecs".into(),
             "loading".into(),
             "profile".into(),
+            "calibration".into(),
             "fig7".into(),
         ];
     }
@@ -39,8 +57,12 @@ fn main() {
     let results_dir = Path::new("results");
     fs::create_dir_all(results_dir).expect("create results dir");
 
+    // Every saved result, keyed by its file stem — the input to the gate.
+    let mut collected: Vec<(String, Json)> = Vec::new();
+
     for exp in &wanted {
         println!("\n=== {exp} {} ===", if quick { "(quick profile)" } else { "" });
+        let registry_before = xquec_obs::snapshot();
         match exp.as_str() {
             "table1" => {
                 let rows = experiments::table1(p);
@@ -61,17 +83,17 @@ fn main() {
                         })
                         .collect::<Vec<_>>(),
                 );
-                save(results_dir, "table1", &rows);
+                save(results_dir, "table1", &rows, &mut collected);
             }
             "fig6-left" => {
                 let rows = experiments::fig6_left(p);
                 print_cf(&rows);
-                save(results_dir, "fig6_left", &rows);
+                save(results_dir, "fig6_left", &rows, &mut collected);
             }
             "fig6-right" => {
                 let rows = experiments::fig6_right(p);
                 print_cf(&rows);
-                save(results_dir, "fig6_right", &rows);
+                save(results_dir, "fig6_right", &rows, &mut collected);
             }
             "fig7" => {
                 let report = experiments::fig7(p);
@@ -102,7 +124,7 @@ fn main() {
                         })
                         .collect::<Vec<_>>(),
                 );
-                save(results_dir, "fig7", &report);
+                save(results_dir, "fig7", &report, &mut collected);
             }
             "partition" => {
                 let r = experiments::partition_example(p);
@@ -123,7 +145,7 @@ fn main() {
                         ],
                     ],
                 );
-                save(results_dir, "partition", &r);
+                save(results_dir, "partition", &r, &mut collected);
             }
             "storage-overhead" => {
                 let rows = experiments::storage_overhead(p);
@@ -141,7 +163,7 @@ fn main() {
                         })
                         .collect::<Vec<_>>(),
                 );
-                save(results_dir, "storage_overhead", &rows);
+                save(results_dir, "storage_overhead", &rows, &mut collected);
             }
             "ablation-codecs" => {
                 let rows = experiments::ablation_codecs(p);
@@ -160,7 +182,7 @@ fn main() {
                         })
                         .collect::<Vec<_>>(),
                 );
-                save(results_dir, "ablation_codecs", &rows);
+                save(results_dir, "ablation_codecs", &rows, &mut collected);
             }
             "loading" => {
                 let rows = experiments::loading(p);
@@ -182,7 +204,7 @@ fn main() {
                         .collect::<Vec<_>>(),
                 );
                 assert!(rows.iter().all(|r| r.identical), "parallel load must be deterministic");
-                save(results_dir, "BENCH_loading", &rows);
+                save(results_dir, "BENCH_loading", &rows, &mut collected);
             }
             "profile" => {
                 let report = experiments::profile(p);
@@ -192,17 +214,30 @@ fn main() {
                     print!("{}", q.render());
                 }
                 println!("lifetime counters: {}", report.lifetime);
-                save(results_dir, "profile", &report);
+                save(results_dir, "profile", &report, &mut collected);
+            }
+            "calibration" => {
+                let report = experiments::calibration(p);
+                print!("{}", report.render());
+                save(results_dir, "calibration", &report, &mut collected);
             }
             other => {
                 eprintln!("unknown experiment `{other}`");
                 std::process::exit(2);
             }
         }
+        // What this experiment alone moved in the ambient registry. The
+        // per-experiment files are disjoint, so re-running one experiment
+        // refreshes only its own snapshot.
+        let delta = snapshot_delta(&registry_before, &xquec_obs::snapshot());
+        let name = format!("metrics_{}", exp.replace('-', "_"));
+        let path = results_dir.join(format!("{name}.json"));
+        fs::write(&path, delta.to_json().pretty()).expect("write experiment metrics");
+        println!("(saved {})", path.display());
     }
 
-    // Snapshot the ambient metrics registry: every counter, gauge and
-    // histogram the experiments touched, one machine-readable file.
+    // Snapshot the cumulative metrics registry: every counter, gauge and
+    // histogram the whole run touched, one machine-readable file.
     let snapshot = xquec_obs::snapshot();
     let path = results_dir.join("metrics.json");
     fs::write(&path, snapshot.to_json().pretty()).expect("write metrics snapshot");
@@ -210,6 +245,78 @@ fn main() {
     if !xquec_obs::enabled() {
         println!("(note: built with the `off` feature — ambient metrics are no-ops)");
     }
+
+    // ---- Regression gate over the machine-stable entries -----------------
+    let combined = Json::Obj(collected);
+    let stable = baseline::flatten(&combined);
+    if let Some(out) = write_baseline {
+        fs::write(&out, baseline::entries_to_json(&stable).pretty()).expect("write baseline");
+        println!("(saved baseline {out}: {} stable entries)", stable.len());
+    }
+    if let Some(file) = baseline_path {
+        let text = fs::read_to_string(&file)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline {file}: {e}")));
+        let parsed = Json::parse(&text)
+            .unwrap_or_else(|e| die(&format!("baseline {file} is not valid JSON: {e:?}")));
+        let base = baseline::entries_from_json(&parsed);
+        let cmp = baseline::compare(&base, &stable, threshold);
+        if cmp.passed() {
+            println!(
+                "baseline gate PASSED: {} entries within {:.0}% of {file}",
+                cmp.compared,
+                threshold * 100.0
+            );
+        } else {
+            eprintln!(
+                "baseline gate FAILED against {file} ({} entries compared, threshold {:.0}%):",
+                cmp.compared,
+                threshold * 100.0
+            );
+            eprint!("{}", cmp.render());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Value of `--flag <value>` or `--flag=<value>`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_owned());
+        }
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Positional arguments: everything that is neither a flag nor a flag value.
+fn positional(args: &[String]) -> Vec<String> {
+    let value_flags = ["--baseline", "--write-baseline", "--threshold"];
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip = true; // the next arg is this flag's value
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
 
 fn print_cf(rows: &[experiments::CfRow]) {
@@ -232,8 +339,10 @@ fn print_cf(rows: &[experiments::CfRow]) {
     );
 }
 
-fn save<T: ToJson>(dir: &Path, name: &str, value: &T) {
+fn save<T: ToJson>(dir: &Path, name: &str, value: &T, collected: &mut Vec<(String, Json)>) {
+    let json = value.to_json();
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, value.to_json().pretty()).expect("write results");
+    fs::write(&path, json.pretty()).expect("write results");
     println!("(saved {})", path.display());
+    collected.push((name.to_owned(), json));
 }

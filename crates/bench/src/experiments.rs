@@ -602,6 +602,23 @@ pub fn profile(p: Profile) -> ProfileReport {
     ProfileReport { bytes: xml.len(), load, queries, lifetime }
 }
 
+// ---- E9: cost-model calibration ---------------------------------------------
+
+/// E9: predicted-vs-actual compression ratios for the configuration the §3
+/// greedy search chose on the XMark workload. The per-container ratios are
+/// pure functions of the deterministic generator and codecs, so this report
+/// is machine-stable — `repro --baseline` gates on it to catch estimator
+/// drift (sampling changes, codec regressions) in CI.
+pub fn calibration(p: Profile) -> xquec_core::CalibrationReport {
+    let bytes = if p.quick { 250_000 } else { 2_000_000 };
+    let xml = Dataset::Xmark.generate(bytes);
+    let opts = LoaderOptions { workload: Some(xmark_workload()), ..Default::default() };
+    let (_repo, profile) = xquec_core::load_profiled(&xml, &opts).expect("load");
+    let report = xquec_core::CalibrationReport::from_profile(&profile);
+    report.publish_metrics();
+    report
+}
+
 // ---- JSON emission ----------------------------------------------------------
 
 use crate::json::{Json, ToJson};

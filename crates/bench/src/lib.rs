@@ -5,6 +5,7 @@
 //! binary prints them as tables and appends them to a JSON log so
 //! `EXPERIMENTS.md` can cite exact numbers.
 
+pub mod baseline;
 pub mod experiments;
 pub mod json;
 
@@ -83,6 +84,50 @@ pub fn dump_metrics(name: &str) {
     }
 }
 
+/// Difference between two registry snapshots: what one experiment moved.
+///
+/// Counters and histogram cells are monotonic, so `after - before` is the
+/// experiment's own traffic; entries that did not move are dropped. Gauges
+/// are point-in-time values and are carried over from `after` unchanged.
+pub fn snapshot_delta(
+    before: &xquec_obs::MetricsSnapshot,
+    after: &xquec_obs::MetricsSnapshot,
+) -> xquec_obs::MetricsSnapshot {
+    let mut delta = xquec_obs::MetricsSnapshot::default();
+    for (name, v) in &after.counters {
+        let d = v - before.counter(name).unwrap_or(0);
+        if d > 0 {
+            delta.counters.push((name.clone(), d));
+        }
+    }
+    delta.gauges = after.gauges.clone();
+    for h in &after.histograms {
+        let prev = before.histogram(&h.name);
+        let count = h.count - prev.map_or(0, |p| p.count);
+        if count == 0 {
+            continue;
+        }
+        let buckets = h
+            .buckets
+            .iter()
+            .map(|&(lo, c)| {
+                let pc = prev
+                    .and_then(|p| p.buckets.iter().find(|&&(plo, _)| plo == lo))
+                    .map_or(0, |&(_, pc)| pc);
+                (lo, c - pc)
+            })
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        delta.histograms.push(xquec_obs::metrics::HistogramSnapshot {
+            name: h.name.clone(),
+            count,
+            sum: h.sum.wrapping_sub(prev.map_or(0, |p| p.sum)),
+            buckets,
+        });
+    }
+    delta
+}
+
 /// Format bytes human-readably.
 pub fn human_bytes(b: usize) -> String {
     if b >= 10_000_000 {
@@ -114,6 +159,23 @@ mod tests {
         });
         assert!(t >= 0.0);
         assert_eq!(i, 3);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_new_traffic() {
+        let before = xquec_obs::snapshot();
+        xquec_obs::counter!("test.bench.delta").add(3);
+        xquec_obs::histogram!("test.bench.delta.hist").record(7);
+        let after = xquec_obs::snapshot();
+        let delta = snapshot_delta(&before, &after);
+        if xquec_obs::enabled() {
+            assert_eq!(delta.counter("test.bench.delta"), Some(3));
+            let h = delta.histogram("test.bench.delta.hist").expect("histogram in delta");
+            assert_eq!(h.count, 1);
+            assert_eq!(h.sum, 7);
+        } else {
+            assert_eq!(delta, xquec_obs::MetricsSnapshot::default());
+        }
     }
 
     #[test]

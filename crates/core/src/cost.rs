@@ -58,6 +58,26 @@ impl Configuration {
     }
 }
 
+/// One container's predicted compression outcome under a configuration.
+///
+/// These are the sample-based estimates the greedy search optimizes — the
+/// same cached numbers [`CostModel::storage_cost`] sums. The calibration
+/// report ([`crate::calibration`]) compares them against the sizes the
+/// loader measured after compressing the full data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The predicted container.
+    pub container: ContainerId,
+    /// Algorithm the configuration assigns to its group.
+    pub alg: CodecKind,
+    /// Predicted compressed/plain payload ratio (estimated on the sample).
+    pub ratio: f64,
+    /// Index of the configuration group holding the container.
+    pub group: usize,
+    /// Bytes of the group's shared source model (0 for block storage).
+    pub group_model_bytes: usize,
+}
+
 /// Relative weights of the two cost components.
 #[derive(Debug, Clone, Copy)]
 pub struct CostWeights {
@@ -187,6 +207,28 @@ impl<'a> CostModel<'a> {
         }
     }
 
+    /// Per-container predictions for a configuration, in container-id order.
+    ///
+    /// Reuses the cached group profiles, so calling this after a search is
+    /// free of extra codec training for any group the search already costed.
+    pub fn predict(&self, cfg: &Configuration) -> Vec<Prediction> {
+        let mut out = Vec::new();
+        for (gi, g) in cfg.groups.iter().enumerate() {
+            let (ratios, model) = self.group_profile(&g.containers, g.alg);
+            for (k, &c) in g.containers.iter().enumerate() {
+                out.push(Prediction {
+                    container: c,
+                    alg: g.alg,
+                    ratio: ratios[k],
+                    group: gi,
+                    group_model_bytes: model,
+                });
+            }
+        }
+        out.sort_by_key(|p| p.container);
+        out
+    }
+
     /// Measured `(per-container compression ratios, model size)` for a group
     /// under an algorithm, trained on the union of the group's samples.
     fn group_profile(&self, containers: &[ContainerId], alg: CodecKind) -> (Vec<f64>, usize) {
@@ -298,6 +340,35 @@ mod tests {
         let blz =
             Configuration::singletons(&[ContainerId(0), ContainerId(1), ContainerId(2)], CodecKind::Blz);
         assert!(cm.decompression_cost(&blz) > 0.0);
+    }
+
+    #[test]
+    fn predictions_reconstruct_storage_cost() {
+        let stats = stats3();
+        let w = Workload::new();
+        let m = w.matrices(3);
+        let cm = CostModel::new(&stats, &m, CostWeights::default());
+        let cfg = Configuration {
+            groups: vec![
+                Group { containers: vec![ContainerId(1), ContainerId(0)], alg: CodecKind::Alm },
+                Group { containers: vec![ContainerId(2)], alg: CodecKind::Huffman },
+            ],
+        };
+        let preds = cm.predict(&cfg);
+        assert_eq!(preds.len(), 3);
+        assert!(preds.windows(2).all(|w| w[0].container < w[1].container));
+        assert!(preds.iter().all(|p| p.ratio.is_finite() && p.ratio > 0.0));
+        // Summing ratio * plain_bytes per container plus one model per group
+        // reproduces the model's own storage cost exactly.
+        let mut total = 0.0;
+        let mut models: HashMap<usize, usize> = HashMap::new();
+        for p in &preds {
+            total += p.ratio * stats[p.container.0 as usize].plain_bytes as f64;
+            models.insert(p.group, p.group_model_bytes);
+        }
+        total += models.values().map(|&m| m as f64).sum::<f64>();
+        let direct = cm.storage_cost(&cfg);
+        assert!((total - direct).abs() < 1e-9, "{total} vs {direct}");
     }
 
     #[test]

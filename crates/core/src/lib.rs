@@ -7,12 +7,14 @@
 //! * [`dictionary`], [`structure`], [`summary`], [`container`] — the §2.2
 //!   storage structures;
 //! * [`stats`], [`workload`], [`cost`], [`partition`] — the §3 workload-aware
-//!   compression-configuration machinery;
+//!   compression-configuration machinery; [`calibration`] compares the cost
+//!   model's predictions against measured compression outcomes;
 //! * [`query`] — the §4 query processor (parser, planner, physical
 //!   operators, executor) evaluating an XQuery subset in the compressed
 //!   domain with lazy decompression;
 //! * [`queries`] — the XMark query catalog used by the §5 evaluation.
 
+pub mod calibration;
 pub mod container;
 pub mod cost;
 pub mod dictionary;
@@ -29,11 +31,13 @@ pub mod structure;
 pub mod summary;
 pub mod workload;
 
+pub use calibration::{CalibrationReport, CalibrationRow};
 pub use container::{Container, ContainerLeaf, ValueType};
 pub use ids::{ContainerId, ElemId, PathId, TagCode};
 pub use loader::{
-    load, load_profiled, load_with, LoadError, LoadProfile, LoaderOptions, WorkloadSpec,
+    load, load_profiled, load_with, LoadError, LoadProfile, LoaderOptions, PredictedRow,
+    WorkloadSpec,
 };
-pub use query::{Engine, ExecStats, QueryError, QueryProfile};
+pub use query::{Engine, ExecStats, OpStats, PlanNode, QueryError, QueryPlan, QueryProfile};
 pub use repo::{Repository, SizeReport};
 pub use workload::{PredOp, Workload};

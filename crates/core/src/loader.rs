@@ -18,7 +18,7 @@
 //! the thread count.
 
 use crate::container::{Container, ContainerLeaf, ValueType};
-use crate::cost::{CostModel, CostWeights};
+use crate::cost::{CostModel, CostWeights, Prediction};
 use crate::dictionary::NameDictionary;
 use crate::ids::{ContainerId, ElemId, PathId};
 use crate::par::{par_map, par_map_into};
@@ -170,11 +170,29 @@ pub struct CodecTotal {
     pub compressed_bytes: usize,
 }
 
+/// One cost-model prediction, resolved to a leaf path. Produced by the
+/// §3.2 greedy search for every workload-touched textual container; the
+/// calibration report ([`crate::calibration`]) joins these against the
+/// measured [`ContainerSizeRow`]s by path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedRow {
+    /// Rooted leaf path of the predicted container.
+    pub path: String,
+    /// Algorithm the chosen configuration assigns to its group.
+    pub alg: &'static str,
+    /// Predicted compressed/plain payload ratio (sample-based estimate).
+    pub ratio: f64,
+    /// Configuration group index (containers sharing one source model).
+    pub group: usize,
+    /// Predicted bytes of the group's shared source model.
+    pub group_model_bytes: usize,
+}
+
 /// Structured account of one load: per-phase wall time plus per-container
 /// and per-codec size totals. Returned by [`load_profiled`]; phase times
 /// come from `std::time::Instant` directly, so the profile stays meaningful
 /// even when the ambient instrumentation is compiled out (`off` feature).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadProfile {
     /// Bytes of input XML.
     pub input_bytes: usize,
@@ -185,10 +203,19 @@ pub struct LoadProfile {
     pub containers: Vec<ContainerSizeRow>,
     /// Totals grouped by codec, sorted by codec name.
     pub codecs: Vec<CodecTotal>,
+    /// The cost model's predictions for the configuration the greedy search
+    /// chose: workload-touched textual containers only, in container-id
+    /// order. Empty when the load ran without a workload.
+    pub predictions: Vec<PredictedRow>,
 }
 
 impl LoadProfile {
-    fn from_repo(repo: &Repository, phases: Vec<PhaseTiming>, input_bytes: usize) -> Self {
+    fn from_repo(
+        repo: &Repository,
+        phases: Vec<PhaseTiming>,
+        input_bytes: usize,
+        predictions: Vec<Prediction>,
+    ) -> Self {
         let containers: Vec<ContainerSizeRow> = repo
             .containers
             .iter()
@@ -214,11 +241,22 @@ impl LoadProfile {
             t.raw_bytes += row.raw_bytes;
             t.compressed_bytes += row.compressed_bytes;
         }
+        let predictions = predictions
+            .into_iter()
+            .map(|p| PredictedRow {
+                path: repo.container_path_string(p.container),
+                alg: p.alg.name(),
+                ratio: p.ratio,
+                group: p.group,
+                group_model_bytes: p.group_model_bytes,
+            })
+            .collect();
         LoadProfile {
             input_bytes,
             phases,
             containers,
             codecs: by_codec.into_values().collect(),
+            predictions,
         }
     }
 
@@ -279,6 +317,18 @@ impl ToJson for CodecTotal {
     }
 }
 
+impl ToJson for PredictedRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("path", self.path.to_json()),
+            ("alg", self.alg.to_json()),
+            ("ratio", Json::Num(self.ratio)),
+            ("group", self.group.to_json()),
+            ("group_model_bytes", self.group_model_bytes.to_json()),
+        ])
+    }
+}
+
 impl ToJson for LoadProfile {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -286,6 +336,7 @@ impl ToJson for LoadProfile {
             ("phases", self.phases.to_json()),
             ("containers", self.containers.to_json()),
             ("codecs", self.codecs.to_json()),
+            ("predictions", self.predictions.to_json()),
         ])
     }
 }
@@ -301,14 +352,17 @@ pub fn load_with(xml: &str, opts: &LoaderOptions) -> Result<Repository, LoadErro
 }
 
 /// [`load_with`], additionally returning a [`LoadProfile`] with per-phase
-/// wall times and per-container / per-codec size accounting.
+/// wall times, per-container / per-codec size accounting, and the cost
+/// model's per-container predictions for the chosen configuration.
 pub fn load_profiled(xml: &str, opts: &LoaderOptions) -> Result<(Repository, LoadProfile), LoadError> {
-    let (repo, phases) = load_impl(xml, opts)?;
-    let profile = LoadProfile::from_repo(&repo, phases, xml.len());
+    let (repo, phases, predictions) = load_impl(xml, opts)?;
+    let profile = LoadProfile::from_repo(&repo, phases, xml.len(), predictions);
     Ok((repo, profile))
 }
 
-fn load_impl(xml: &str, opts: &LoaderOptions) -> Result<(Repository, Vec<PhaseTiming>), LoadError> {
+type Loaded = (Repository, Vec<PhaseTiming>, Vec<Prediction>);
+
+fn load_impl(xml: &str, opts: &LoaderOptions) -> Result<Loaded, LoadError> {
     let mut phases: Vec<PhaseTiming> = Vec::with_capacity(5);
     counter!("loader.bytes.input").add(xml.len() as u64);
     let phase_start = Instant::now();
@@ -441,6 +495,9 @@ fn load_impl(xml: &str, opts: &LoaderOptions) -> Result<(Repository, Vec<PhaseTi
     let cost_model = CostModel::new(&stats, &matrices, opts.weights);
     let config =
         choose_configuration_threaded(&cost_model, &textual_workload, &opts.pool, opts.threads);
+    // Persist what the search believed: the same cached sample estimates it
+    // optimized, later joined with measured sizes by the calibration report.
+    let predictions = cost_model.predict(&config);
 
     // Map container -> chosen codec kind (None = untouched by workload).
     let mut chosen: Vec<Option<CodecKind>> = vec![None; paths.len()];
@@ -560,7 +617,11 @@ fn load_impl(xml: &str, opts: &LoaderOptions) -> Result<(Repository, Vec<PhaseTi
     }
     counter!("loader.containers.built").add(containers.len() as u64);
 
-    Ok((Repository { dict, tree, summary, containers, stats, original_bytes: xml.len() }, phases))
+    Ok((
+        Repository { dict, tree, summary, containers, stats, original_bytes: xml.len() },
+        phases,
+        predictions,
+    ))
 }
 
 fn elapsed_ns(start: Instant) -> u64 {

@@ -582,6 +582,12 @@ fn profile_reports_phases_and_counters_for_distinct_queries() {
         for phase in ["parse", "compile", "execute", "serialize"] {
             assert!(report.contains(phase), "{report}");
         }
+        // With ambient metrics on, the report also carries cross-run
+        // phase-latency percentiles from the registry histograms.
+        if xquec_obs::enabled() {
+            assert!(report.contains("phase latency"), "{report}");
+            assert!(report.contains("p95="), "{report}");
+        }
     }
 }
 

@@ -36,6 +36,7 @@ use crate::container::{ContainerLeaf, ValueType};
 use crate::ids::{ContainerId, ElemId, PathId, TagCode};
 use crate::repo::Repository;
 use crate::summary::PathKind;
+use super::plan::{CounterBase, OpStats, PlanRecorder, QueryPlan};
 use super::profile::{QueryPhase, QueryProfile};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -94,6 +95,8 @@ fn err<T>(msg: impl Into<String>) -> Result<T, QueryError> {
 pub struct ExecStats {
     /// Values decompressed.
     pub decompressions: usize,
+    /// Plaintext bytes produced by those decompressions.
+    pub bytes_decompressed: usize,
     /// Equality comparisons resolved on compressed bytes.
     pub compressed_eq: usize,
     /// Order comparisons resolved on compressed bytes.
@@ -112,6 +115,7 @@ impl ExecStats {
     /// Fold `other` into `self`: counters add, operator traces concatenate.
     pub fn merge(&mut self, other: &ExecStats) {
         self.decompressions += other.decompressions;
+        self.bytes_decompressed += other.bytes_decompressed;
         self.compressed_eq += other.compressed_eq;
         self.compressed_cmp += other.compressed_cmp;
         self.cache_hits += other.cache_hits;
@@ -125,9 +129,10 @@ impl std::fmt::Display for ExecStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "decompressions={} compressed_eq={} compressed_cmp={} \
+            "decompressions={} bytes_decompressed={} compressed_eq={} compressed_cmp={} \
              cache_hits={} cache_misses={} value_fetches={} operators={}",
             self.decompressions,
+            self.bytes_decompressed,
             self.compressed_eq,
             self.compressed_cmp,
             self.cache_hits,
@@ -142,6 +147,7 @@ impl ToJson for ExecStats {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("decompressions", self.decompressions.to_json()),
+            ("bytes_decompressed", self.bytes_decompressed.to_json()),
             ("compressed_eq", self.compressed_eq.to_json()),
             ("compressed_cmp", self.compressed_cmp.to_json()),
             ("cache_hits", self.cache_hits.to_json()),
@@ -230,6 +236,9 @@ pub struct Engine<'r> {
     /// Per-query memo: compressed bytes of an individual container record →
     /// interned plaintext. Cleared at the start of every query.
     value_cache: RefCell<HashMap<ContainerId, ValueMemo>>,
+    /// Observed-physical-plan recorder for the current query (reset at every
+    /// query start; read through [`Engine::last_plan`]).
+    plan: RefCell<PlanRecorder>,
 }
 
 /// Interned plaintexts of one container, keyed by compressed bytes.
@@ -263,6 +272,7 @@ impl<'r> Engine<'r> {
             lifetime: RefCell::new(ExecStats::default()),
             block_cache: RefCell::new(BlockLru::new(capacity)),
             value_cache: RefCell::new(HashMap::new()),
+            plan: RefCell::new(PlanRecorder::default()),
         }
     }
 
@@ -272,6 +282,7 @@ impl<'r> Engine<'r> {
     fn retire_stats(&self) {
         let done = std::mem::take(&mut *self.stats.borrow_mut());
         counter!("query.exec.decompressions").add(done.decompressions as u64);
+        counter!("query.exec.bytes_decompressed").add(done.bytes_decompressed as u64);
         counter!("query.exec.compressed_eq").add(done.compressed_eq as u64);
         counter!("query.exec.compressed_cmp").add(done.compressed_cmp as u64);
         counter!("query.exec.cache_hits").add(done.cache_hits as u64);
@@ -287,6 +298,81 @@ impl<'r> Engine<'r> {
         let mut total = self.lifetime.borrow().clone();
         total.merge(&self.stats.borrow());
         total
+    }
+
+    // ---- plan recording -------------------------------------------------
+
+    /// The observed physical plan of the most recent successfully evaluated
+    /// query (empty before any query has run).
+    pub fn last_plan(&self) -> QueryPlan {
+        self.plan.borrow().snapshot()
+    }
+
+    /// Sample the current per-query counters for operator delta attribution.
+    /// `None` when ambient instrumentation is compiled out (`off` feature):
+    /// operators then record cardinalities only and [`OpStats`] stays zero.
+    fn counter_now(&self) -> Option<CounterBase> {
+        if !xquec_obs::enabled() {
+            return None;
+        }
+        let st = self.stats.borrow();
+        Some(CounterBase {
+            value_fetches: st.value_fetches,
+            cache_hits: st.cache_hits,
+            cache_misses: st.cache_misses,
+            decompressions: st.decompressions,
+            bytes_decompressed: st.bytes_decompressed,
+        })
+    }
+
+    /// Run `f` under an open plan operator. The operator is closed whether
+    /// `f` succeeds or fails (`rows_out = 0` on failure), so `?` inside `f`
+    /// can never unbalance the recorder stack.
+    fn traced<T>(
+        &self,
+        op: &'static str,
+        detail: String,
+        rows_in: usize,
+        f: impl FnOnce() -> Result<T, QueryError>,
+        rows_out: impl FnOnce(&T) -> usize,
+    ) -> Result<T, QueryError> {
+        self.plan.borrow_mut().enter(op, detail, rows_in, self.counter_now());
+        let result = f();
+        let rows = match &result {
+            Ok(t) => rows_out(t),
+            Err(_) => 0,
+        };
+        self.plan.borrow_mut().exit(rows, None, self.counter_now());
+        result
+    }
+
+    /// Record an already-finished operator: deltas against `base` (sampled
+    /// via [`Engine::op_base`] before the work) are attributed to it.
+    fn op_leaf(
+        &self,
+        op: &'static str,
+        detail: String,
+        rows_in: usize,
+        rows_out: usize,
+        base: Option<(CounterBase, Instant)>,
+    ) {
+        let stats = match (base, self.counter_now()) {
+            (Some((b, start)), Some(now)) => OpStats {
+                nanos: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                value_fetches: now.value_fetches - b.value_fetches,
+                cache_hits: now.cache_hits - b.cache_hits,
+                cache_misses: now.cache_misses - b.cache_misses,
+                decompressions: now.decompressions - b.decompressions,
+                bytes_decompressed: now.bytes_decompressed - b.bytes_decompressed,
+            },
+            _ => OpStats::default(),
+        };
+        self.plan.borrow_mut().leaf(op, detail, rows_in, rows_out, stats);
+    }
+
+    /// Counter + clock sample paired for [`Engine::op_leaf`].
+    fn op_base(&self) -> Option<(CounterBase, Instant)> {
+        self.counter_now().map(|b| (b, Instant::now()))
     }
 
     /// Read one value of a block container, inflating the whole container on
@@ -308,6 +394,8 @@ impl<'r> Engine<'r> {
             st.decompressions += c.len();
         }
         let all = Rc::new(c.decompress_all()?);
+        self.stats.borrow_mut().bytes_decompressed +=
+            all.iter().map(String::len).sum::<usize>();
         self.block_cache.borrow_mut().insert(cid, all.clone());
         fetch(&all)
     }
@@ -328,7 +416,17 @@ impl<'r> Engine<'r> {
     pub fn run(&self, query: &str) -> Result<String, QueryError> {
         let seq = self.eval_query(query)?;
         let _span = span("query.phase.serialize");
-        self.serialize(&seq)
+        self.traced(
+            "Serialize",
+            String::new(),
+            seq.len(),
+            || {
+                let out = self.serialize(&seq)?;
+                self.plan.borrow_mut().annotate(None, Some(format!("{} bytes", out.len())));
+                Ok(out)
+            },
+            |_| seq.len(),
+        )
     }
 
     /// Parse and evaluate a query, returning the raw sequence.
@@ -336,6 +434,7 @@ impl<'r> Engine<'r> {
         self.retire_stats();
         counter!("query.exec.queries").inc();
         self.value_cache.borrow_mut().clear();
+        self.plan.borrow_mut().reset();
         let ast = {
             let _span = span("query.phase.parse");
             parse(query)?
@@ -343,13 +442,23 @@ impl<'r> Engine<'r> {
         let ctx = Ctx { join_cache: RefCell::new(HashMap::new()) };
         let mut env: Env = Vec::new();
         let _span = span("query.phase.execute");
-        self.eval(&ast, &mut env, &ctx)
+        self.traced("Execute", String::new(), 0, || self.eval(&ast, &mut env, &ctx), Vec::len)
     }
 
-    /// Run a query and return the physical-operator trace.
+    /// Run a query and return the annotated physical plan as text — the
+    /// `EXPLAIN ANALYZE` view: every observed operator with its detail,
+    /// input/output cardinalities, wall time and decompression counters.
+    /// Use [`Engine::explain_plan`] for the structured ([`ToJson`]) form.
     pub fn explain(&self, query: &str) -> Result<String, QueryError> {
         self.run(query)?;
-        Ok(self.stats.borrow().operators.join("\n"))
+        Ok(self.last_plan().render())
+    }
+
+    /// Run a query and return the observed physical plan as a structured
+    /// tree (serializable to JSON through `xquec-obs`).
+    pub fn explain_plan(&self, query: &str) -> Result<QueryPlan, QueryError> {
+        self.run(query)?;
+        Ok(self.last_plan())
     }
 
     /// Run a query with per-phase wall-clock timing and return a structured
@@ -364,6 +473,7 @@ impl<'r> Engine<'r> {
         self.retire_stats();
         counter!("query.exec.queries").inc();
         self.value_cache.borrow_mut().clear();
+        self.plan.borrow_mut().reset();
 
         let t = Instant::now();
         let ast = {
@@ -383,14 +493,24 @@ impl<'r> Engine<'r> {
         let t = Instant::now();
         let seq = {
             let _span = span("query.phase.execute");
-            self.eval(&ast, &mut env, &ctx)?
+            self.traced("Execute", String::new(), 0, || self.eval(&ast, &mut env, &ctx), Vec::len)?
         };
         let execute_nanos = elapsed_ns(t);
 
         let t = Instant::now();
         let output = {
             let _span = span("query.phase.serialize");
-            self.serialize(&seq)?
+            self.traced(
+                "Serialize",
+                String::new(),
+                seq.len(),
+                || {
+                    let out = self.serialize(&seq)?;
+                    self.plan.borrow_mut().annotate(None, Some(format!("{} bytes", out.len())));
+                    Ok(out)
+                },
+                |_| seq.len(),
+            )?
         };
         let serialize_nanos = elapsed_ns(t);
 
@@ -405,6 +525,7 @@ impl<'r> Engine<'r> {
             result_items: seq.len(),
             output_bytes: output.len(),
             stats: self.stats.borrow().clone(),
+            plan: self.last_plan(),
         })
     }
 
@@ -554,14 +675,24 @@ impl<'r> Engine<'r> {
         let mut rows: Vec<(Option<String>, Sequence)> = Vec::new();
         self.flwor_rec(&plain, 0, ret, order.map(|(e, _)| e), env, ctx, &consumed, &mut rows)?;
         if let Some((_, desc)) = order {
-            rows.sort_by(|a, b| {
-                let cmp = compare_order_keys(a.0.as_deref(), b.0.as_deref());
-                if desc {
-                    cmp.reverse()
-                } else {
-                    cmp
-                }
-            });
+            let n = rows.len();
+            self.traced(
+                "Sort",
+                (if desc { "descending" } else { "ascending" }).to_owned(),
+                n,
+                || {
+                    rows.sort_by(|a, b| {
+                        let cmp = compare_order_keys(a.0.as_deref(), b.0.as_deref());
+                        if desc {
+                            cmp.reverse()
+                        } else {
+                            cmp
+                        }
+                    });
+                    Ok(n)
+                },
+                |out| *out,
+            )?;
         }
         Ok(rows.into_iter().flat_map(|(_, s)| s).collect())
     }
@@ -644,7 +775,14 @@ impl<'r> Engine<'r> {
                     if consumed.borrow().contains(&(conj as *const Expr as usize)) {
                         continue;
                     }
-                    if !self.ebv(conj, env, ctx)? {
+                    let pass = self.traced(
+                        "Predicate",
+                        "where".to_owned(),
+                        1,
+                        || self.ebv(conj, env, ctx),
+                        |b| usize::from(*b),
+                    )?;
+                    if !pass {
                         return Ok(());
                     }
                 }
@@ -695,50 +833,71 @@ impl<'r> Engine<'r> {
         }
         let Some((conj, inner_side, outer_side)) = join else { return Ok(None) };
 
-        // Build (or fetch) the index.
-        let index = {
-            let cache = ctx.join_cache.borrow();
-            cache.get(&key).cloned()
-        };
-        let index = match index {
-            Some(i) => i,
-            None => {
-                let built = self.build_join_index(src2, v2, inner_side, ctx)?;
-                self.stats.borrow_mut().operators.push(format!(
-                    "HashJoin[build rows={} compressed_keys={}]",
-                    built.rows.len(),
-                    built.codec.is_some()
-                ));
-                let rc = Rc::new(built);
-                ctx.join_cache.borrow_mut().insert(key, rc.clone());
-                rc
-            }
-        };
+        let out = self.traced(
+            "HashJoin",
+            String::new(),
+            0,
+            || {
+                // Build (or fetch) the index.
+                let index = {
+                    let cache = ctx.join_cache.borrow();
+                    cache.get(&key).cloned()
+                };
+                let index = match index {
+                    Some(i) => i,
+                    None => {
+                        let base = self.op_base();
+                        let built = self.build_join_index(src2, v2, inner_side, ctx)?;
+                        self.stats.borrow_mut().operators.push(format!(
+                            "HashJoin[build rows={} compressed_keys={}]",
+                            built.rows.len(),
+                            built.codec.is_some()
+                        ));
+                        self.op_leaf(
+                            "JoinIndexBuild",
+                            format!("compressed_keys={}", built.codec.is_some()),
+                            0,
+                            built.rows.len(),
+                            base,
+                        );
+                        let rc = Rc::new(built);
+                        ctx.join_cache.borrow_mut().insert(key, rc.clone());
+                        rc
+                    }
+                };
 
-        // Probe with the outer side under the current environment.
-        let probe_keys = self.eval(outer_side, env, ctx)?;
-        let mut match_rows: Vec<u32> = Vec::new();
-        for pk in &probe_keys {
-            self.probe_join_index(&index, pk, &mut match_rows)?;
-        }
-        match_rows.sort_unstable();
-        match_rows.dedup();
+                // Probe with the outer side under the current environment.
+                let probe_keys = self.eval(outer_side, env, ctx)?;
+                let mut match_rows: Vec<u32> = Vec::new();
+                for pk in &probe_keys {
+                    self.probe_join_index(&index, pk, &mut match_rows)?;
+                }
+                match_rows.sort_unstable();
+                match_rows.dedup();
+                self.plan.borrow_mut().annotate(
+                    Some(match_rows.len()),
+                    Some(format!("compressed_keys={}", index.codec.is_some())),
+                );
 
-        // Evaluate the remaining clauses + return for every matching row.
-        let consumed = RefCell::new(HashSet::new());
-        consumed.borrow_mut().insert(conj as *const Expr as usize);
-        let plain: Vec<&Clause> = clauses[1..]
-            .iter()
-            .filter(|c| !matches!(c, Clause::OrderBy(..)))
-            .collect();
-        let mut rows: Vec<(Option<String>, Sequence)> = Vec::new();
-        for &ri in &match_rows {
-            env.push((v2.clone(), vec![index.rows[ri as usize].clone()]));
-            let r = self.flwor_rec(&plain, 0, ret, None, env, ctx, &consumed, &mut rows);
-            env.pop();
-            r?;
-        }
-        Ok(Some(rows.into_iter().flat_map(|(_, s)| s).collect()))
+                // Evaluate the remaining clauses + return for every matching row.
+                let consumed = RefCell::new(HashSet::new());
+                consumed.borrow_mut().insert(conj as *const Expr as usize);
+                let plain: Vec<&Clause> = clauses[1..]
+                    .iter()
+                    .filter(|c| !matches!(c, Clause::OrderBy(..)))
+                    .collect();
+                let mut rows: Vec<(Option<String>, Sequence)> = Vec::new();
+                for &ri in &match_rows {
+                    env.push((v2.clone(), vec![index.rows[ri as usize].clone()]));
+                    let r = self.flwor_rec(&plain, 0, ret, None, env, ctx, &consumed, &mut rows);
+                    env.pop();
+                    r?;
+                }
+                Ok(rows.into_iter().flat_map(|(_, s)| s).collect::<Sequence>())
+            },
+            Vec::len,
+        )?;
+        Ok(Some(out))
     }
 
     fn build_join_index(
@@ -822,9 +981,13 @@ impl<'r> Engine<'r> {
                         let mut m: HashMap<String, Vec<u32>> = HashMap::new();
                         if let Some(codec) = &index.codec {
                             for (k, rows) in &index.by_bytes {
-                                self.stats.borrow_mut().decompressions += 1;
-                                let plain = String::from_utf8_lossy(&codec.decompress(k)?)
-                                    .into_owned();
+                                let raw = codec.decompress(k)?;
+                                {
+                                    let mut st = self.stats.borrow_mut();
+                                    st.decompressions += 1;
+                                    st.bytes_decompressed += raw.len();
+                                }
+                                let plain = String::from_utf8_lossy(&raw).into_owned();
                                 m.entry(plain).or_default().extend(rows.iter().copied());
                             }
                         }
@@ -876,6 +1039,7 @@ impl<'r> Engine<'r> {
         env: &mut Env,
         ctx: &Ctx,
     ) -> Result<Sequence, QueryError> {
+        let base = self.op_base();
         let mut spaths: Vec<PathId> = vec![self.repo.summary.root()];
         let mut i = 0usize;
         while i < steps.len() {
@@ -938,6 +1102,13 @@ impl<'r> Engine<'r> {
                 .borrow_mut()
                 .operators
                 .push(format!("StructureSummaryAccess[paths={} nodes={}]", spaths.len(), nodes.len()));
+            self.op_leaf(
+                "StructureSummaryAccess",
+                format!("paths={} steps={}", spaths.len(), i),
+                0,
+                nodes.len(),
+                base,
+            );
         }
         self.apply_steps(nodes, &steps[i..], env, ctx)
     }
@@ -957,17 +1128,36 @@ impl<'r> Engine<'r> {
                     if !last {
                         return err("text() must be the final step");
                     }
-                    return self.values_of(&nodes, None);
+                    return self.traced(
+                        "TextContent",
+                        "text()".to_owned(),
+                        nodes.len(),
+                        || self.values_of(&nodes, None),
+                        Vec::len,
+                    );
                 }
                 NodeTest::Attr(name) => {
                     if !last {
                         return err("attribute step must be the final step");
                     }
                     let Some(code) = self.repo.dict.code(name) else { return Ok(vec![]) };
-                    return self.values_of(&nodes, Some(code));
+                    return self.traced(
+                        "TextContent",
+                        format!("@{name}"),
+                        nodes.len(),
+                        || self.values_of(&nodes, Some(code)),
+                        Vec::len,
+                    );
                 }
                 NodeTest::Tag(_) | NodeTest::AnyElement => {
-                    nodes = self.element_step(&nodes, step, env, ctx)?;
+                    let rows_in = nodes.len();
+                    nodes = self.traced(
+                        "StructureNav",
+                        step_detail(step),
+                        rows_in,
+                        || self.element_step(&nodes, step, env, ctx),
+                        Vec::len,
+                    )?;
                     if nodes.is_empty() {
                         return Ok(vec![]);
                     }
@@ -1066,16 +1256,25 @@ impl<'r> Engine<'r> {
                 out = filtered;
                 continue;
             }
-            let mut kept = Vec::with_capacity(out.len());
-            for &c in &out {
-                env.push((".".to_owned(), vec![Item::Node(c)]));
-                let ok = self.ebv(f, env, ctx);
-                env.pop();
-                if ok? {
-                    kept.push(c);
-                }
-            }
-            out = kept;
+            let rows_in = out.len();
+            out = self.traced(
+                "Predicate",
+                "scan".to_owned(),
+                rows_in,
+                || {
+                    let mut kept = Vec::with_capacity(out.len());
+                    for &c in &out {
+                        env.push((".".to_owned(), vec![Item::Node(c)]));
+                        let ok = self.ebv(f, env, ctx);
+                        env.pop();
+                        if ok? {
+                            kept.push(c);
+                        }
+                    }
+                    Ok(kept)
+                },
+                Vec::len,
+            )?;
         }
         Ok(out)
     }
@@ -1211,6 +1410,7 @@ impl<'r> Engine<'r> {
                 return Ok(None);
             }
             let Some(bound) = self.bound_string(c, konst) else { return Ok(None) };
+            let base = self.op_base();
             let range = match op {
                 CmpOp::Eq => c.equal_range(bound.as_bytes())?,
                 CmpOp::Lt => 0..c.lower_bound(bound.as_bytes())?,
@@ -1219,12 +1419,11 @@ impl<'r> Engine<'r> {
                 CmpOp::Ge => c.lower_bound(bound.as_bytes())?..c.len() as u32,
                 CmpOp::Ne => return Ok(None),
             };
+            let path = self.repo.container_path_string(cid);
+            let range_len = range.len();
             self.stats.borrow_mut().operators.push(format!(
-                "ContAccess[{} {} {:?} -> {} records]",
-                self.repo.container_path_string(cid),
+                "ContAccess[{path} {} {bound:?} -> {range_len} records]",
                 op.as_str(),
-                bound,
-                range.len()
             ));
             for idx in range {
                 let mut owner = c.parent_of(idx);
@@ -1236,6 +1435,13 @@ impl<'r> Engine<'r> {
                 }
                 hits.insert(owner);
             }
+            self.op_leaf(
+                "ContAccess",
+                format!("{path} {} {bound:?}", op.as_str()),
+                candidates.len(),
+                range_len,
+                base,
+            );
         }
         Ok(Some(candidates.iter().copied().filter(|c| hits.contains(c)).collect()))
     }
@@ -1704,6 +1910,7 @@ impl<'r> Engine<'r> {
             st.decompressions += 1;
         }
         let raw = self.repo.container(container).codec().decompress(bytes)?;
+        self.stats.borrow_mut().bytes_decompressed += raw.len();
         let plain: Rc<str> = Rc::from(String::from_utf8_lossy(&raw).into_owned());
         self.value_cache
             .borrow_mut()
@@ -1876,6 +2083,23 @@ impl Drop for Engine<'_> {
 }
 
 // ---- helpers -------------------------------------------------------------
+
+/// `axis::test` rendering of a step for plan-node details (deterministic for
+/// a given query, so golden explain tests can compare it verbatim).
+fn step_detail(step: &Step) -> String {
+    let axis = match step.axis {
+        Axis::Child => "child",
+        Axis::Descendant => "descendant",
+        Axis::Parent => "parent",
+    };
+    let test = match &step.test {
+        NodeTest::Tag(t) => t.clone(),
+        NodeTest::AnyElement => "*".to_owned(),
+        NodeTest::Text => "text()".to_owned(),
+        NodeTest::Attr(a) => format!("@{a}"),
+    };
+    format!("{axis}::{test}")
+}
 
 /// Split an `and`-tree into conjuncts.
 fn conjuncts(e: &Expr) -> Vec<&Expr> {

@@ -10,11 +10,13 @@ mod engine_tests;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod profile;
 pub mod value;
 
 pub use ast::Expr;
 pub use exec::{Engine, ExecStats, QueryError};
 pub use parser::{parse, ParseError};
+pub use plan::{OpStats, PlanNode, QueryPlan};
 pub use profile::{QueryPhase, QueryProfile};
 pub use value::{Item, Sequence};

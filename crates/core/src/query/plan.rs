@@ -1,0 +1,465 @@
+//! The physical-plan tree behind `EXPLAIN ANALYZE`.
+//!
+//! The evaluator in [`super::exec`] is a fused interpreter: planning
+//! decisions (summary resolution, pushdown, join decorrelation) happen
+//! inline during evaluation. This module extracts an *observed* physical
+//! plan from that interpreter: every operator instantiation opens a
+//! [`PlanNode`] on a recorder stack, runs, and closes with its measured
+//! cardinalities and — when ambient instrumentation is compiled in — wall
+//! time and the deltas of the engine's [`super::exec::ExecStats`] counters
+//! (value fetches, cache traffic, decompression work) attributed to the
+//! time the operator was open.
+//!
+//! Two invariants make the tree useful for reports and tests:
+//!
+//! * **Coalescing.** An operator re-instantiated with the same name and
+//!   detail under the same parent (a navigation step re-run per FLWOR row,
+//!   a hash-join probe per outer binding) merges into one node whose
+//!   `invocations` counts the repeats and whose stats accumulate — the tree
+//!   stays bounded by the *plan shape*, not the data size.
+//! * **Reconciliation.** Stats are recorded *inclusively* (a parent's
+//!   counters cover its children), and every phase of a query runs under a
+//!   root operator (`Execute`, `Serialize`). The sum of the root nodes'
+//!   inclusive [`OpStats`] therefore equals the per-query `ExecStats`
+//!   totals — asserted by `crates/core/tests/explain_golden.rs`.
+//!
+//! Cardinalities (`rows_in`/`rows_out`) and the tree structure are
+//! deterministic and always recorded, so golden tests hold under the
+//! `off` feature too; [`OpStats`] is all-zero in that build
+//! ([`QueryPlan::render_stable`] prints only the deterministic fields).
+
+use xquec_obs::json::{Json, ToJson};
+
+/// Measured per-operator counters (inclusive of child operators).
+///
+/// All-zero when `xquec-obs` is built with the `off` feature: the deltas
+/// are never sampled, so operator instrumentation compiles down to the
+/// cardinality bookkeeping alone.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Wall time the operator was open, in nanoseconds.
+    pub nanos: u64,
+    /// Container-value fetches requested while the operator was open.
+    pub value_fetches: usize,
+    /// Decompression-cache hits.
+    pub cache_hits: usize,
+    /// Decompression-cache misses.
+    pub cache_misses: usize,
+    /// Values decompressed (codec work, not cache reads).
+    pub decompressions: usize,
+    /// Plaintext bytes produced by that codec work.
+    pub bytes_decompressed: usize,
+}
+
+impl OpStats {
+    /// Fold `other` into `self` (used when coalescing repeated operators).
+    pub fn merge(&mut self, other: &OpStats) {
+        self.nanos += other.nanos;
+        self.value_fetches += other.value_fetches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.decompressions += other.decompressions;
+        self.bytes_decompressed += other.bytes_decompressed;
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == OpStats::default()
+    }
+}
+
+impl ToJson for OpStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("nanos", Json::Num(self.nanos as f64)),
+            ("value_fetches", self.value_fetches.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("cache_misses", self.cache_misses.to_json()),
+            ("decompressions", self.decompressions.to_json()),
+            ("bytes_decompressed", self.bytes_decompressed.to_json()),
+        ])
+    }
+}
+
+/// One observed physical operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// Operator name (`StructureSummaryAccess`, `ContAccess`, `HashJoin`,
+    /// `StructureNav`, `Predicate`, `Sort`, `TextContent`, `Serialize`, …).
+    pub op: &'static str,
+    /// Operator-specific detail (path, axis/test, predicate, bound).
+    /// Deterministic for a given query and document — golden-testable.
+    pub detail: String,
+    /// Input cardinality summed across invocations.
+    pub rows_in: usize,
+    /// Output cardinality summed across invocations.
+    pub rows_out: usize,
+    /// Times this operator was instantiated at this tree position.
+    pub invocations: usize,
+    /// Measured counters, inclusive of `children`.
+    pub stats: OpStats,
+    /// Child operators, in first-open order.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Can `other` coalesce into `self`? Same operator at the same tree
+    /// position with the same detail — a re-instantiation, not a new shape.
+    fn same_shape(&self, other: &PlanNode) -> bool {
+        self.op == other.op && self.detail == other.detail
+    }
+
+    /// Merge a repeated instantiation into this node.
+    fn absorb(&mut self, other: PlanNode) {
+        self.rows_in += other.rows_in;
+        self.rows_out += other.rows_out;
+        self.invocations += other.invocations;
+        self.stats.merge(&other.stats);
+        for child in other.children {
+            attach(&mut self.children, child);
+        }
+    }
+
+    /// Number of nodes in this subtree (self included).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, stable: bool) {
+        use std::fmt::Write as _;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(out, "{}", self.op);
+        if !self.detail.is_empty() {
+            let _ = write!(out, "[{}]", self.detail);
+        }
+        let _ = write!(out, " rows={}->{}", self.rows_in, self.rows_out);
+        if self.invocations > 1 {
+            let _ = write!(out, " loops={}", self.invocations);
+        }
+        if !stable && !self.stats.is_zero() {
+            let s = &self.stats;
+            let _ = write!(out, " time={:.3}ms", s.nanos as f64 / 1e6);
+            if s.value_fetches > 0 {
+                let _ = write!(out, " fetches={}", s.value_fetches);
+            }
+            if s.cache_hits + s.cache_misses > 0 {
+                let _ = write!(out, " cache={}/{}", s.cache_hits, s.cache_hits + s.cache_misses);
+            }
+            if s.decompressions > 0 {
+                let _ = write!(
+                    out,
+                    " decomp={} ({} bytes)",
+                    s.decompressions, s.bytes_decompressed
+                );
+            }
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1, stable);
+        }
+    }
+}
+
+impl ToJson for PlanNode {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("op", self.op.to_json()),
+            ("detail", self.detail.as_str().to_json()),
+            ("rows_in", self.rows_in.to_json()),
+            ("rows_out", self.rows_out.to_json()),
+            ("invocations", self.invocations.to_json()),
+            ("stats", self.stats.to_json()),
+            ("children", self.children.to_json()),
+        ])
+    }
+}
+
+/// The observed physical plan of one query run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Root operators in phase order (`Execute`, then `Serialize` when the
+    /// query was run through [`super::exec::Engine::run`] or `profile`).
+    pub roots: Vec<PlanNode>,
+}
+
+impl QueryPlan {
+    /// Sum of the root operators' inclusive stats. Because every evaluation
+    /// phase runs under a root operator, this reconciles with the per-query
+    /// [`super::exec::ExecStats`] counters.
+    pub fn totals(&self) -> OpStats {
+        let mut total = OpStats::default();
+        for r in &self.roots {
+            total.merge(&r.stats);
+        }
+        total
+    }
+
+    /// Total nodes in the plan.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(PlanNode::size).sum()
+    }
+
+    /// Depth-first walk over every node.
+    pub fn walk(&self, f: &mut impl FnMut(&PlanNode)) {
+        fn rec(n: &PlanNode, f: &mut impl FnMut(&PlanNode)) {
+            f(n);
+            for c in &n.children {
+                rec(c, f);
+            }
+        }
+        for r in &self.roots {
+            rec(r, f);
+        }
+    }
+
+    /// Annotated tree: operators, cardinalities, timings and counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            r.render_into(&mut out, 0, false);
+        }
+        out
+    }
+
+    /// Deterministic subset of [`QueryPlan::render`]: operators, details and
+    /// cardinalities only — identical across machines and in `off` builds,
+    /// so golden tests can compare it verbatim.
+    pub fn render_stable(&self) -> String {
+        let mut out = String::new();
+        for r in &self.roots {
+            r.render_into(&mut out, 0, true);
+        }
+        out
+    }
+}
+
+impl ToJson for QueryPlan {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("roots", self.roots.to_json())])
+    }
+}
+
+/// Append `node` under `siblings`, coalescing into the previous sibling
+/// when it has the same shape (same op + detail).
+fn attach(siblings: &mut Vec<PlanNode>, node: PlanNode) {
+    if let Some(last) = siblings.last_mut() {
+        if last.same_shape(&node) {
+            last.absorb(node);
+            return;
+        }
+    }
+    siblings.push(node);
+}
+
+// ---------------------------------------------------------------------------
+// Recorder: builds the tree while the interpreter runs.
+// ---------------------------------------------------------------------------
+
+/// An operator that has been entered but not yet closed.
+#[derive(Debug)]
+struct OpenOp {
+    op: &'static str,
+    detail: String,
+    rows_in: usize,
+    /// Entry wall clock (absent in `off` builds — no clock read).
+    start: Option<std::time::Instant>,
+    /// `ExecStats` counter snapshot at entry (absent in `off` builds).
+    base: Option<CounterBase>,
+    children: Vec<PlanNode>,
+}
+
+/// The `ExecStats` counters sampled at operator entry.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct CounterBase {
+    pub value_fetches: usize,
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    pub decompressions: usize,
+    pub bytes_decompressed: usize,
+}
+
+/// Builds one [`QueryPlan`] per query. Owned by the engine behind a
+/// `RefCell`; reset at every query start, so an unbalanced stack after an
+/// evaluation error never leaks into the next query's plan.
+#[derive(Debug, Default)]
+pub(super) struct PlanRecorder {
+    stack: Vec<OpenOp>,
+    roots: Vec<PlanNode>,
+}
+
+impl PlanRecorder {
+    /// Drop any in-flight state and start a fresh plan.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+        self.roots.clear();
+    }
+
+    pub fn enter(
+        &mut self,
+        op: &'static str,
+        detail: String,
+        rows_in: usize,
+        base: Option<CounterBase>,
+    ) {
+        let start = base.as_ref().map(|_| std::time::Instant::now());
+        self.stack.push(OpenOp { op, detail, rows_in, start, base, children: Vec::new() });
+    }
+
+    /// Close the innermost open operator with its measured deltas.
+    pub fn exit(&mut self, rows_out: usize, detail: Option<String>, now: Option<CounterBase>) {
+        let Some(open) = self.stack.pop() else { return };
+        let stats = match (open.base, now, open.start) {
+            (Some(base), Some(now), Some(start)) => OpStats {
+                nanos: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                value_fetches: now.value_fetches - base.value_fetches,
+                cache_hits: now.cache_hits - base.cache_hits,
+                cache_misses: now.cache_misses - base.cache_misses,
+                decompressions: now.decompressions - base.decompressions,
+                bytes_decompressed: now.bytes_decompressed - base.bytes_decompressed,
+            },
+            _ => OpStats::default(),
+        };
+        let node = PlanNode {
+            op: open.op,
+            detail: detail.unwrap_or(open.detail),
+            rows_in: open.rows_in,
+            rows_out,
+            invocations: 1,
+            stats,
+            children: open.children,
+        };
+        match self.stack.last_mut() {
+            Some(parent) => attach(&mut parent.children, node),
+            None => attach(&mut self.roots, node),
+        }
+    }
+
+    /// Attach an already-closed operator under the innermost open one (or as
+    /// a root). Used for operators whose control flow makes balanced
+    /// enter/exit awkward (per-container pushdown ranges, index builds):
+    /// the caller measures the deltas itself and reports the finished node,
+    /// so no error path can ever leave the stack unbalanced.
+    pub fn leaf(
+        &mut self,
+        op: &'static str,
+        detail: String,
+        rows_in: usize,
+        rows_out: usize,
+        stats: OpStats,
+    ) {
+        let node = PlanNode { op, detail, rows_in, rows_out, invocations: 1, stats, children: Vec::new() };
+        match self.stack.last_mut() {
+            Some(parent) => attach(&mut parent.children, node),
+            None => attach(&mut self.roots, node),
+        }
+    }
+
+    /// Revise the innermost open operator's cardinality/detail once they are
+    /// actually known (a probe count computed mid-operator, say).
+    pub fn annotate(&mut self, rows_in: Option<usize>, detail: Option<String>) {
+        if let Some(open) = self.stack.last_mut() {
+            if let Some(r) = rows_in {
+                open.rows_in = r;
+            }
+            if let Some(d) = detail {
+                open.detail = d;
+            }
+        }
+    }
+
+    /// The plan recorded so far (closed roots only; an operator left open by
+    /// an evaluation error is not reported).
+    pub fn snapshot(&self) -> QueryPlan {
+        QueryPlan { roots: self.roots.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(op: &'static str, detail: &str, rows_in: usize, rows_out: usize) -> PlanNode {
+        PlanNode {
+            op,
+            detail: detail.to_owned(),
+            rows_in,
+            rows_out,
+            invocations: 1,
+            stats: OpStats::default(),
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn coalesces_repeated_siblings() {
+        let mut rec = PlanRecorder::default();
+        rec.enter("Execute", String::new(), 0, None);
+        for i in 0..100 {
+            rec.enter("StructureNav", "child::name".into(), 1, None);
+            rec.exit(1, None, None);
+            let _ = i;
+        }
+        rec.exit(100, None, None);
+        let plan = rec.snapshot();
+        assert_eq!(plan.size(), 2, "{}", plan.render_stable());
+        let nav = &plan.roots[0].children[0];
+        assert_eq!(nav.invocations, 100);
+        assert_eq!(nav.rows_in, 100);
+        assert_eq!(nav.rows_out, 100);
+    }
+
+    #[test]
+    fn distinct_details_stay_separate() {
+        let mut rec = PlanRecorder::default();
+        rec.enter("Execute", String::new(), 0, None);
+        rec.enter("StructureNav", "child::a".into(), 1, None);
+        rec.exit(2, None, None);
+        rec.enter("StructureNav", "child::b".into(), 2, None);
+        rec.exit(3, None, None);
+        rec.exit(3, None, None);
+        let plan = rec.snapshot();
+        assert_eq!(plan.roots[0].children.len(), 2);
+    }
+
+    #[test]
+    fn reset_discards_unbalanced_stack() {
+        let mut rec = PlanRecorder::default();
+        rec.enter("Execute", String::new(), 0, None);
+        rec.enter("StructureNav", "child::a".into(), 1, None);
+        rec.reset();
+        rec.enter("Execute", String::new(), 0, None);
+        rec.exit(1, None, None);
+        let plan = rec.snapshot();
+        assert_eq!(plan.roots.len(), 1);
+        assert!(plan.roots[0].children.is_empty());
+    }
+
+    #[test]
+    fn render_and_json_shapes() {
+        let mut root = leaf("Execute", "", 0, 3);
+        root.children.push(leaf("ContAccess", "//price >= 40", 5, 1));
+        let plan = QueryPlan { roots: vec![root] };
+        let stable = plan.render_stable();
+        assert!(stable.contains("Execute rows=0->3"), "{stable}");
+        assert!(stable.contains("  ContAccess[//price >= 40] rows=5->1"), "{stable}");
+        // Stats are zero => full render matches stable here.
+        assert_eq!(plan.render(), stable);
+        let json = plan.to_json().pretty();
+        let parsed = xquec_obs::json::Json::parse(&json).expect("plan JSON parses");
+        assert!(parsed.get("roots").is_some());
+    }
+
+    #[test]
+    fn totals_sum_roots() {
+        let mut a = leaf("Execute", "", 0, 1);
+        a.stats.decompressions = 3;
+        a.stats.bytes_decompressed = 120;
+        let mut b = leaf("Serialize", "", 1, 1);
+        b.stats.decompressions = 2;
+        let plan = QueryPlan { roots: vec![a, b] };
+        let t = plan.totals();
+        assert_eq!(t.decompressions, 5);
+        assert_eq!(t.bytes_decompressed, 120);
+    }
+}

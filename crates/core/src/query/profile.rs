@@ -8,6 +8,7 @@
 //! profiles stay meaningful when ambient instrumentation is compiled out.
 
 use super::exec::ExecStats;
+use super::plan::QueryPlan;
 use xquec_obs::json::{Json, ToJson};
 
 /// Wall time of one query phase.
@@ -34,6 +35,9 @@ pub struct QueryProfile {
     /// Per-query execution counters (decompressions, compressed-domain
     /// comparisons, cache traffic, value fetches, operator trace).
     pub stats: ExecStats,
+    /// The observed physical plan: per-operator cardinalities, wall time
+    /// and decompression counters (the `EXPLAIN ANALYZE` tree).
+    pub plan: QueryPlan,
 }
 
 impl QueryProfile {
@@ -62,8 +66,40 @@ impl QueryProfile {
             self.result_items, self.output_bytes
         );
         let _ = writeln!(out, "  counters: {}", self.stats);
-        for op in &self.stats.operators {
-            let _ = writeln!(out, "  operator {op}");
+        if self.plan.roots.is_empty() {
+            // Engines predating plan capture (or a hand-built profile).
+            for op in &self.stats.operators {
+                let _ = writeln!(out, "  operator {op}");
+            }
+        } else {
+            let _ = writeln!(out, "  plan:");
+            for line in self.plan.render().lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        if xquec_obs::enabled() {
+            // Ambient per-phase latency percentiles across every query this
+            // process has run — context for whether *this* run was typical.
+            let snap = xquec_obs::snapshot();
+            let mut wrote_header = false;
+            for p in &self.phases {
+                let name = format!("query.phase.{}", p.name);
+                let Some(h) = snap.histogram(&name) else { continue };
+                let q = |q: f64| h.quantile(q).map_or("-".to_owned(), |v| v.to_string());
+                if !wrote_header {
+                    let _ = writeln!(out, "  phase latency (all runs, ns):");
+                    wrote_header = true;
+                }
+                let _ = writeln!(
+                    out,
+                    "    {:<10} n={} p50={} p95={} p99={}",
+                    p.name,
+                    h.count,
+                    q(0.50),
+                    q(0.95),
+                    q(0.99)
+                );
+            }
         }
         out
     }
@@ -86,6 +122,7 @@ impl ToJson for QueryProfile {
             ("result_items", self.result_items.to_json()),
             ("output_bytes", self.output_bytes.to_json()),
             ("stats", self.stats.to_json()),
+            ("plan", self.plan.to_json()),
         ])
     }
 }

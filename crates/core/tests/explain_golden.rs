@@ -1,0 +1,192 @@
+//! Golden tests for `Engine::explain`: the *stable* plan rendering
+//! (operators, details, cardinalities) is compared verbatim for three
+//! XMark-style queries, so any change to operator naming, tree shape or
+//! cardinality accounting shows up as a reviewable diff here — on every
+//! machine and under `--features xquec-obs/off` alike, because the stable
+//! view excludes wall time and counter deltas.
+//!
+//! Also asserts the reconciliation invariant from `query::plan`: operator
+//! stats are inclusive and every phase runs under a root operator, so the
+//! sum of root `OpStats` equals the per-query `ExecStats` totals.
+
+use xquec_core::loader::{load_with, LoaderOptions, WorkloadSpec};
+use xquec_core::query::Engine;
+use xquec_core::repo::Repository;
+use xquec_core::workload::PredOp;
+
+/// Fixed XMark-shaped document: every cardinality in the goldens below is
+/// hand-checkable against this text.
+const DOC: &str = r#"<site>
+  <people>
+    <person id="person0"><name>Alice Smith</name><age>31</age>
+      <address><city>Orsay</city><country>France</country></address></person>
+    <person id="person1"><name>Bob Jones</name><age>27</age>
+      <homepage>http://b.example.com</homepage></person>
+    <person id="person2"><name>Carol King</name><age>45</age></person>
+  </people>
+  <regions>
+    <europe>
+      <item id="item0"><name>old brass lamp</name>
+        <description>a fine lamp of solid gold leaf</description></item>
+      <item id="item1"><name>wooden chair</name>
+        <description>sturdy oak chair</description></item>
+    </europe>
+    <asia>
+      <item id="item2"><name>silk scarf</name>
+        <description>golden silk from the east</description></item>
+    </asia>
+  </regions>
+  <open_auctions>
+    <open_auction id="open0"><initial>12.50</initial>
+      <bidder><increase>3.00</increase></bidder>
+      <bidder><increase>7.50</increase></bidder>
+      <current>23.00</current><itemref item="item0"/></open_auction>
+    <open_auction id="open1"><initial>5.00</initial>
+      <current>5.00</current><itemref item="item2"/></open_auction>
+  </open_auctions>
+  <closed_auctions>
+    <closed_auction><seller person="person2"/><buyer person="person0"/>
+      <itemref item="item0"/><price>48.00</price></closed_auction>
+    <closed_auction><seller person="person0"/><buyer person="person1"/>
+      <itemref item="item1"/><price>19.99</price></closed_auction>
+    <closed_auction><seller person="person1"/><buyer person="person0"/>
+      <itemref item="item2"/><price>5.00</price></closed_auction>
+  </closed_auctions>
+</site>"#;
+
+fn repo() -> Repository {
+    let spec = WorkloadSpec::new()
+        .join("//buyer/@person", "//person/@id", PredOp::Eq)
+        .constant("//name/text()", PredOp::Ineq)
+        .constant("//price/text()", PredOp::Ineq);
+    load_with(DOC, &LoaderOptions { workload: Some(spec), ..Default::default() }).unwrap()
+}
+
+const Q_PATH: &str = "/site/people/person/name/text()";
+const GOLDEN_PATH: &str = "\
+Execute rows=0->3
+  StructureSummaryAccess[paths=1 steps=4] rows=0->3
+  TextContent[text()] rows=3->3
+Serialize[32 bytes] rows=3->3
+";
+
+const Q_JOIN: &str = r#"for $c in //closed_auction
+           for $p in //person
+           where $c/buyer/@person = $p/@id
+           return $p/name/text()"#;
+const GOLDEN_JOIN: &str = "\
+Execute rows=0->3
+  StructureSummaryAccess[paths=1 steps=1] rows=0->6 loops=2
+  Predicate[where] rows=1->1
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+  StructureNav[child::name] rows=1->1
+  TextContent[text()] rows=1->1
+  Predicate[where] rows=2->0 loops=2
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+  StructureSummaryAccess[paths=1 steps=1] rows=0->3
+  Predicate[where] rows=2->1 loops=2
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+  StructureNav[child::name] rows=1->1
+  TextContent[text()] rows=1->1
+  Predicate[where] rows=1->0
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+  StructureSummaryAccess[paths=1 steps=1] rows=0->3
+  Predicate[where] rows=1->1
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+  StructureNav[child::name] rows=1->1
+  TextContent[text()] rows=1->1
+  Predicate[where] rows=2->0 loops=2
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+    StructureNav[child::buyer] rows=1->1
+    TextContent[@person] rows=1->1
+    TextContent[@id] rows=1->1
+Serialize[33 bytes] rows=3->3
+";
+
+const Q_SORT: &str = "for $p in //person order by $p/age/text() return $p/age/text()";
+const GOLDEN_SORT: &str = "\
+Execute rows=0->3
+  StructureSummaryAccess[paths=1 steps=1] rows=0->3
+  StructureNav[child::age] rows=1->1
+  TextContent[text()] rows=1->1
+  StructureNav[child::age] rows=1->1
+  TextContent[text()] rows=1->1
+  StructureNav[child::age] rows=1->1
+  TextContent[text()] rows=1->1
+  StructureNav[child::age] rows=1->1
+  TextContent[text()] rows=1->1
+  StructureNav[child::age] rows=1->1
+  TextContent[text()] rows=1->1
+  StructureNav[child::age] rows=1->1
+  TextContent[text()] rows=1->1
+  Sort[ascending] rows=3->3
+Serialize[8 bytes] rows=3->3
+";
+
+#[test]
+fn explain_plans_match_goldens() {
+    let r = repo();
+    let e = Engine::new(&r);
+    for (q, golden) in [(Q_PATH, GOLDEN_PATH), (Q_JOIN, GOLDEN_JOIN), (Q_SORT, GOLDEN_SORT)] {
+        let plan = e.explain_plan(q).unwrap();
+        assert_eq!(plan.render_stable(), golden, "stable plan drifted for: {q}");
+    }
+}
+
+/// `Engine::explain` is the annotated (`EXPLAIN ANALYZE`) view of the same
+/// tree: every stable line's operator appears, plus measured stats when
+/// instrumentation is compiled in.
+#[test]
+fn explain_text_covers_stable_operators() {
+    let r = repo();
+    let e = Engine::new(&r);
+    let text = e.explain(Q_JOIN).unwrap();
+    for op in ["Execute", "StructureSummaryAccess", "Predicate[where]", "StructureNav[child::name]", "Serialize"] {
+        assert!(text.contains(op), "missing {op} in:\n{text}");
+    }
+    if xquec_obs::enabled() {
+        assert!(text.contains("fetches="), "no measured stats in:\n{text}");
+    }
+}
+
+/// Reconciliation: root operators cover every phase inclusively, so the
+/// plan's summed `OpStats` equal the engine's per-query `ExecStats` for
+/// each counter both sides track. Under the `off` feature the deltas are
+/// never sampled and the totals must be exactly zero.
+#[test]
+fn plan_totals_reconcile_with_exec_stats() {
+    let r = repo();
+    let e = Engine::new(&r);
+    for q in [Q_PATH, Q_JOIN, Q_SORT] {
+        let profile = e.profile(q).unwrap();
+        let t = profile.plan.totals();
+        if xquec_obs::enabled() {
+            assert_eq!(t.value_fetches, profile.stats.value_fetches, "{q}");
+            assert_eq!(t.cache_hits, profile.stats.cache_hits, "{q}");
+            assert_eq!(t.cache_misses, profile.stats.cache_misses, "{q}");
+            assert_eq!(t.decompressions, profile.stats.decompressions, "{q}");
+            assert_eq!(t.bytes_decompressed, profile.stats.bytes_decompressed, "{q}");
+            assert!(profile.stats.value_fetches > 0, "{q} fetched nothing");
+        } else {
+            assert_eq!(t, Default::default(), "off build must record no stats: {q}");
+        }
+    }
+}

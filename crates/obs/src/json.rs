@@ -112,12 +112,15 @@ impl Json {
         }
     }
 
-    /// Parse a JSON document. Rejects trailing garbage. Errors carry the
-    /// byte offset and a short description.
+    /// Parse a JSON document. Rejects trailing garbage and nesting deeper
+    /// than [`MAX_PARSE_DEPTH`] (the parser recurses per level, so a depth
+    /// bound turns a potential stack overflow on adversarial input into an
+    /// error). Errors carry the byte offset and a short description.
     pub fn parse(input: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -128,6 +131,11 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting [`Json::parse`] accepts. Profiles and metrics
+/// snapshots nest a handful of levels; 128 leaves two orders of magnitude
+/// of headroom while keeping the recursive parser's stack usage bounded.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// Error from [`Json::parse`]: byte offset plus a short description.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +157,7 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -209,12 +218,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    // Parsing aborts on the first error, so `depth` is only decremented on
+    // the success paths; an errored parser is never reused.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[', "expected [")?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -225,6 +246,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected , or ] in array")),
@@ -234,10 +256,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{', "expected {")?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -253,6 +277,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected , or } in object")),
@@ -548,5 +573,80 @@ mod tests {
             ("nested", Json::obj(vec![("empty_arr", Json::Arr(vec![])), ("null", Json::Null)])),
         ]);
         assert_eq!(Json::parse(&v.pretty()), Ok(v));
+    }
+
+    #[test]
+    fn parse_number_edge_forms() {
+        // Negative zero keeps its sign bit through the f64 parse.
+        match Json::parse("-0") {
+            Ok(Json::Num(v)) => {
+                assert_eq!(v, 0.0);
+                assert!(v.is_sign_negative());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(Json::parse("1e308"), Ok(Json::Num(1e308)));
+        // Overflowing exponents saturate to infinity rather than erroring;
+        // `pretty` then renders them as null (non-finite policy).
+        match Json::parse("1e309") {
+            Ok(Json::Num(v)) => assert!(v.is_infinite()),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(Json::parse("0.5e-3"), Ok(Json::Num(0.0005)));
+        assert_eq!(Json::parse("-12.25E+1"), Ok(Json::Num(-122.5)));
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("+1").is_err());
+        assert!(Json::parse(".5").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let nest = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&nest(MAX_PARSE_DEPTH)).is_ok());
+        let err = Json::parse(&nest(MAX_PARSE_DEPTH + 1)).unwrap_err();
+        assert_eq!(err.message, "nesting too deep");
+        // Objects count against the same budget.
+        let objs = format!(
+            "{}1{}",
+            "{\"k\":[".repeat(MAX_PARSE_DEPTH),
+            "]}".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&objs).is_err());
+        // Unclosed deep input must error, not overflow the stack.
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn sibling_containers_do_not_accumulate_depth() {
+        // 500 sibling objects inside one array: depth never exceeds 2.
+        let wide = format!("[{}]", vec!["{\"a\":[0]}"; 500].join(","));
+        let parsed = Json::parse(&wide).expect("wide document parses");
+        match parsed {
+            Json::Arr(items) => assert_eq!(items.len(), 500),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_documents_round_trip() {
+        // Deterministic LCG so the test is reproducible without a rand dep.
+        fn gen(state: &mut u64, depth: usize) -> Json {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (*state >> 33) % if depth >= 5 { 4 } else { 6 };
+            match pick {
+                0 => Json::Null,
+                1 => Json::Bool(*state & 1 == 0),
+                2 => Json::Num(((*state >> 20) as i64 - (1 << 43)) as f64 / 1024.0),
+                3 => Json::Str(format!("s{}\n\"\\{}", *state % 100, char::from_u32((*state % 0x1_0000) as u32).unwrap_or('\u{fffd}'))),
+                4 => Json::Arr((0..*state % 4).map(|_| gen(state, depth + 1)).collect()),
+                _ => Json::Obj((0..*state % 4).map(|i| (format!("k{i}"), gen(state, depth + 1))).collect()),
+            }
+        }
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            let doc = gen(&mut state, 0);
+            let text = doc.pretty();
+            assert_eq!(Json::parse(&text), Ok(doc), "round trip failed for: {text}");
+        }
     }
 }

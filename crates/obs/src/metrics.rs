@@ -36,6 +36,39 @@ pub fn bucket_lo(i: usize) -> u64 {
     }
 }
 
+/// Estimate the `q`-quantile (`0.0..=1.0`) from `(bucket lower bound,
+/// count)` pairs in ascending bound order — the layout of
+/// [`HistogramSnapshot::buckets`].
+///
+/// Bucket 0 holds exactly the value `0`; every other bucket spans
+/// `[lo, 2*lo)` and the estimate interpolates linearly inside it, so the
+/// error is bounded by the bucket width (a factor of two) and shrinks with
+/// how early in the bucket the rank falls. Returns `None` for an empty
+/// histogram.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], q: f64) -> Option<u64> {
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for &(lo, c) in buckets {
+        if cum + c >= rank {
+            if lo == 0 {
+                return Some(0);
+            }
+            // Fraction of this bucket below the rank, in (0, 1]; the bucket
+            // spans [lo, 2*lo), so its width equals its lower bound.
+            let f = (rank - cum) as f64 / c as f64;
+            let v = lo as f64 + f * lo as f64;
+            return Some(v.min(u64::MAX as f64) as u64);
+        }
+        cum += c;
+    }
+    None
+}
+
 // ---------------------------------------------------------------------------
 // Live implementation.
 // ---------------------------------------------------------------------------
@@ -344,6 +377,14 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile of the recorded values (see
+    /// [`quantile_from_buckets`]); `None` when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.buckets, q)
+    }
+}
+
 /// A point-in-time dump of every registered metric, sorted by name.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -403,11 +444,18 @@ impl MetricsSnapshot {
                             })
                             .collect(),
                     );
+                    let quantile = |q: f64| match h.quantile(q) {
+                        Some(v) => Json::Num(v as f64),
+                        None => Json::Null,
+                    };
                     (
                         h.name.clone(),
                         Json::obj(vec![
                             ("count", Json::Num(h.count as f64)),
                             ("sum", Json::Num(h.sum as f64)),
+                            ("p50", quantile(0.50)),
+                            ("p95", quantile(0.95)),
+                            ("p99", quantile(0.99)),
                             ("buckets", buckets),
                         ]),
                     )
@@ -434,7 +482,17 @@ impl MetricsSnapshot {
         }
         for h in &self.histograms {
             let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
-            let _ = writeln!(out, "{:<44} count={} mean={:.0}", h.name, h.count, mean);
+            let q = |q: f64| h.quantile(q).map_or("-".to_owned(), |v| v.to_string());
+            let _ = writeln!(
+                out,
+                "{:<44} count={} mean={:.0} p50={} p95={} p99={}",
+                h.name,
+                h.count,
+                mean,
+                q(0.50),
+                q(0.95),
+                q(0.99)
+            );
         }
         out
     }
@@ -475,6 +533,65 @@ mod tests {
                 assert_eq!(bucket_index(bucket_lo(i) - 1), i - 1);
             }
         }
+    }
+
+    #[test]
+    fn quantiles_from_explicit_buckets() {
+        // Empty histogram: no quantile.
+        assert_eq!(quantile_from_buckets(&[], 0.5), None);
+        // All zeros land in bucket 0 exactly.
+        assert_eq!(quantile_from_buckets(&[(0, 7)], 0.5), Some(0));
+        assert_eq!(quantile_from_buckets(&[(0, 7)], 0.99), Some(0));
+        // Ten values in [4, 8): the median interpolates to the middle.
+        assert_eq!(quantile_from_buckets(&[(4, 10)], 0.5), Some(6));
+        assert_eq!(quantile_from_buckets(&[(4, 10)], 1.0), Some(8));
+        // Mixed buckets: 5 values in [1,2), 5 in [256,512) — the median is
+        // the last value of the low bucket, p95+ reach the high bucket.
+        let b = [(1, 5), (256, 5)];
+        assert_eq!(quantile_from_buckets(&b, 0.5), Some(2));
+        let p95 = quantile_from_buckets(&b, 0.95).unwrap();
+        assert!((256..=512).contains(&p95), "{p95}");
+        // Quantiles never decrease in q.
+        let mut last = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = quantile_from_buckets(&b, q).unwrap();
+            assert!(v >= last, "quantile regressed at q={q}");
+            last = v;
+        }
+        // The top bucket saturates instead of overflowing.
+        let top = quantile_from_buckets(&[(1u64 << 63, 3)], 1.0).unwrap();
+        assert_eq!(top, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_quantiles_track_recorded_values() {
+        let h = histogram_handle("test.metrics.quantiles");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        if !crate::enabled() {
+            return;
+        }
+        let snap = snapshot();
+        let hs = snap.histogram("test.metrics.quantiles").expect("registered");
+        let p50 = hs.quantile(0.5).expect("non-empty");
+        let p95 = hs.quantile(0.95).expect("non-empty");
+        let p99 = hs.quantile(0.99).expect("non-empty");
+        // True percentiles are 500 / 950 / 990; log₂ buckets bound the
+        // estimate to the enclosing power-of-two range.
+        assert!((256..=512).contains(&p50), "p50={p50}");
+        assert!((512..=1024).contains(&p95), "p95={p95}");
+        assert!((512..=1024).contains(&p99), "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        // Render and JSON both carry the percentile fields.
+        assert!(snap.render().contains("p95="));
+        let json = snap.to_json();
+        let h_json = json
+            .get("histograms")
+            .and_then(|h| h.get("test.metrics.quantiles"))
+            .expect("histogram in JSON");
+        assert_eq!(h_json.get("p50").and_then(Json::as_num), Some(p50 as f64));
+        assert_eq!(h_json.get("p99").and_then(Json::as_num), Some(p99 as f64));
     }
 
     #[test]
